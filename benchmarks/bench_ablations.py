@@ -1,0 +1,31 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.ablations import run_ablations
+
+
+def test_ablations(benchmark):
+    table = run_once(benchmark, run_ablations)
+    print()
+    print(table.format())
+    slowdowns = dict(zip(table.column("configuration"),
+                         table.column("slowdown vs full")))
+    # Every ablated configuration is at least as slow as the full one.
+    assert all(s >= 1.0 for s in slowdowns.values())
+    # The headline mechanisms carry real weight on their workloads,
+    # and padding sits between raw staging and the optimal swizzle.
+    assert slowdowns["swizzle: padding heuristic"] > 1.0
+    assert (
+        slowdowns["swizzle: none (raw rows)"]
+        > slowdowns["swizzle: padding heuristic"]
+    )
+    assert slowdowns["swizzle: none (raw rows)"] > 1.5
+    assert slowdowns["shuffle path: off"] > 1.2
+    assert slowdowns["broadcast dedupe: off, CTA stores"] > 2.0
+    assert slowdowns["ldmatrix: removed"] > 1.1
+
+
+if __name__ == "__main__":
+    print(run_ablations().format())

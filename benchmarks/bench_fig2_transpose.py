@@ -1,0 +1,26 @@
+"""Figure 2: f8 transpose — optimal swizzling vs the padding heuristic."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig2 import run_fig2
+
+
+def test_fig2_transpose(benchmark):
+    table = run_once(benchmark, run_fig2, sizes=(32, 64, 128, 256))
+    print()
+    print(table.format())
+    speedups = table.column("speedup")
+    # Shape assertions: the smallest tile may regress (as in the
+    # paper's figure), every large shape wins, and the peak advantage
+    # stays in the paper's order of magnitude.
+    large = [s for row, s in zip(table.rows, speedups)
+             if row[0] >= 128 and row[1] >= 128]
+    assert all(s > 1.0 for s in large)
+    assert 1.5 < max(speedups) < 6.0
+    smallest = speedups[0]
+    assert smallest < max(large)
+
+
+if __name__ == "__main__":
+    print(run_fig2().format())

@@ -1,0 +1,25 @@
+"""Figure 6: MXFP4 mixed-precision matmul speedups."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig6 import run_fig6
+
+
+def test_fig6_mxfp4(benchmark):
+    table = run_once(benchmark, run_fig6)
+    print()
+    print(table.format())
+    by_dtype = {}
+    for row in table.rows:
+        by_dtype.setdefault(row[0], []).append(row[4])
+    # f16 shows the largest gains (wgmma fix on top of the shuffle);
+    # every series gains.
+    assert min(by_dtype["f16"]) > max(by_dtype["bf16"])
+    for series in by_dtype.values():
+        assert all(s >= 1.0 for s in series)
+    assert max(by_dtype["f16"]) < 2.5  # same order as the paper's 1.87
+
+
+if __name__ == "__main__":
+    print(run_fig6().format())

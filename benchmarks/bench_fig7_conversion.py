@@ -1,0 +1,20 @@
+"""Figure 7: layout conversion — warp shuffles vs shared memory."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig7 import run_fig7
+
+
+def test_fig7_conversion(benchmark):
+    table = run_once(benchmark, run_fig7)
+    print()
+    print(table.format())
+    speedups = table.column("speedup")
+    assert all(s > 1.0 for s in speedups)
+    # Same order of magnitude as the paper's 3.93x peak.
+    assert 2.0 < max(speedups) < 8.0
+
+
+if __name__ == "__main__":
+    print(run_fig7().format())

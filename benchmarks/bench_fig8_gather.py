@@ -1,0 +1,23 @@
+"""Figure 8: gather — warp shuffles vs shared memory."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig8 import run_fig8
+
+
+def test_fig8_gather(benchmark):
+    table = run_once(benchmark, run_fig8)
+    print()
+    print(table.format())
+    f16 = [row for row in table.rows if row[1] == "f16"]
+    speedups = [row[4] for row in f16]
+    # The paper's shape: big speedup on small gathered axes (14.2x
+    # there), monotone decay, crossover around [512, 32].
+    assert speedups[0] > 8.0
+    assert all(a >= b for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] <= 1.05
+
+
+if __name__ == "__main__":
+    print(run_fig8().format())

@@ -1,0 +1,46 @@
+"""Figure 9 (+ Table 2): the real-benchmark suite on all platforms.
+
+The full 159-case sweep takes about a minute; the benchmark entry
+runs a representative subset and the ``__main__`` path runs
+everything.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig9 import run_fig9, run_table2, summarize_by_platform
+
+SUBSET = [
+    "gemm", "int4_gemm", "template_attention", "welford",
+    "softmax", "gather_gemv", "rope",
+]
+
+
+def test_fig9_real(benchmark):
+    fig, tab6, speedups = run_once(benchmark, run_fig9, kernels=SUBSET)
+    print()
+    print(run_table2().format())
+    print()
+    print(summarize_by_platform(fig).format())
+    print()
+    print(fig.format())
+    assert speedups, "no cases compiled"
+    # The paper's envelope: small regressions at worst, up to ~1.4x.
+    assert min(speedups) > 0.85
+    assert 1.0 < max(speedups) < 1.6
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    assert 1.0 <= geomean < 1.25
+
+
+if __name__ == "__main__":
+    fig, tab6, _ = run_fig9()
+    print(run_table2().format())
+    print()
+    print(summarize_by_platform(fig).format())
+    print()
+    print(fig.format())
+    print()
+    print(tab6.format())

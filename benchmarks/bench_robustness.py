@@ -1,0 +1,20 @@
+"""Robustness: the bug classes linear layouts eliminate."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.robustness import run_robustness
+
+
+def test_robustness(benchmark):
+    table = run_once(benchmark, run_robustness)
+    print()
+    print(table.format())
+    legacy = table.column("legacy")
+    linear = table.column("linear")
+    assert all(v == "ok" for v in linear)
+    assert legacy.count("FAILS") == len(legacy)
+
+
+if __name__ == "__main__":
+    print(run_robustness().format())

@@ -1,0 +1,25 @@
+"""Table 4: reduction support matrix and shared-memory instructions."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.table4 import run_table4
+
+
+def test_table4_broadcast(benchmark):
+    table = run_once(benchmark, run_table4)
+    print()
+    print(table.format())
+    rows = {row[0]: row for row in table.rows}
+    # Legacy fails exactly the families the paper lists.
+    for family in ("MMA Input", "Sliced<MMA>", "Sliced<MMA Input>",
+                   "Custom"):
+        assert rows[family][1].startswith("0/")
+        assert rows[family][2].split("/")[0] == rows[family][2].split("/")[1]
+    # Linear passes everything and stores fewer smem instructions.
+    for family in ("Blocked", "MMA", "Sliced<Blocked>"):
+        assert rows[family][3] > rows[family][4]
+
+
+if __name__ == "__main__":
+    print(run_table4().format())

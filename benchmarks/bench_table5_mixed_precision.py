@@ -1,0 +1,23 @@
+"""Table 5: mixed-precision matmul pass rates."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.table5 import run_table5
+
+
+def test_table5_mixed_precision(benchmark):
+    table = run_once(benchmark, run_table5)
+    print()
+    print(table.format())
+    total = table.rows[-1]
+    legacy_pass, legacy_total = map(int, total[1].split("/"))
+    linear_pass, linear_total = map(int, total[2].split("/"))
+    # The paper's shape: legacy passes roughly half (46.6%), linear
+    # passes everything.
+    assert linear_pass == linear_total
+    assert 0.3 < legacy_pass / legacy_total < 0.7
+
+
+if __name__ == "__main__":
+    print(run_table5().format())

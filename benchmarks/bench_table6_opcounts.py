@@ -1,0 +1,37 @@
+"""Table 6: local memory and convert_layout op distribution."""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig9 import run_fig9
+
+KERNELS_WITH_OPS = [
+    "gemm", "bf16xint16_gemm", "int4_gemm", "template_attention",
+    "fp8_gemm", "welford", "gather_gemv", "grouped_gemm", "rope",
+    "embedding",
+]
+
+
+def run_table6():
+    _, tab6, _ = run_fig9(kernels=KERNELS_WITH_OPS, first_case_only=True)
+    return tab6
+
+
+def test_table6_opcounts(benchmark):
+    table = run_once(benchmark, run_table6)
+    print()
+    print(table.format())
+    rows = {row[0]: row for row in table.rows}
+    # The paper's qualitative distribution: gemm-family kernels carry
+    # most of the local-memory traffic; welford / rope are convert-
+    # dominated.  (gather_gemv drops out entirely here: its index
+    # conversion is rematerialized away, one step beyond the paper's
+    # Table 6 snapshot.)
+    assert rows["gemm"][1] > 0 and rows["gemm"][3] > 0
+    assert "gather_gemv" not in rows
+    assert rows["welford"][3] >= 1
+    assert rows["rope"][1] == 0 and rows["rope"][3] >= 1
+
+
+if __name__ == "__main__":
+    print(run_table6().format())

@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark entry points."""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    Experiments are deterministic simulations; repeating them only
+    re-measures Python overhead, so a single round suffices.
+    """
+    return benchmark.pedantic(
+        fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,46 @@
+"""Autotuning layouts with the simulator as the performance model.
+
+The paper's conclusion sketches this as future work: couple linear
+layouts with a performance model and autotune.  Here the simulated
+cost model plays that role: we sweep warp counts for a GEMM and a
+softmax and let the engine pick the cheapest configuration.
+
+Run:  python examples/autotune_kernel.py
+"""
+
+from repro.engine.autotune import autotune
+from repro.hardware import GH200, RTX4090
+from repro.kernels.models import build_gemm, build_softmax
+
+
+def report(name, result):
+    print(f"{name}:")
+    for config, cycles in result.trials:
+        marker = "  <- best" if config == result.best else ""
+        shown = f"{cycles:,.0f}" if cycles is not None else "failed"
+        print(f"  {config}: {shown}{marker}")
+    print(f"  tuning gain over worst: "
+          f"{result.speedup_over_worst():.2f}x\n")
+
+
+def main() -> None:
+    report(
+        "gemm 128x128x64 on RTX4090",
+        autotune(
+            build_gemm,
+            {"m": 128, "n": 128, "k": 64, "k_iters": 4},
+            spec=RTX4090,
+        ),
+    )
+    report(
+        "softmax 256x256 on GH200",
+        autotune(
+            build_softmax,
+            {"rows": 256, "cols": 256},
+            spec=GH200,
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Experiment harness: regenerates every table and figure of Section 6.
+
+Each ``figN``/``tableN`` module exposes a ``run_*`` function returning
+:class:`~repro.bench.harness.Table` objects whose rows mirror what the
+paper reports.  The ``benchmarks/`` directory wraps these in
+pytest-benchmark entry points; every module also runs standalone
+(``python benchmarks/bench_fig2_transpose.py``).
+"""
+
+from repro.bench.harness import Table
+
+__all__ = ["Table"]

@@ -1,0 +1,76 @@
+"""Figure 2: float8 transpose speedup over the padding heuristic.
+
+The transpose kernel loads an ``M x N`` f8 tile coalesced, transposes
+it (free on layouts), and stores coalesced — which forces a layout
+conversion through shared memory.  Triton-Linear stages it with the
+optimal swizzled layout (max vectorization, no bank conflicts);
+legacy Triton uses the padding heuristic.  We report simulated-cycle
+speedups for each (M, N).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import Table
+from repro.codegen.conversion import plan_conversion
+from repro.codegen.vectorize import legacy_default_blocked
+from repro.core.reshape import transpose_layout
+from repro.gpusim.pricing import price_plan
+from repro.hardware.spec import GH200, GpuSpec
+from repro.mxfp.types import F8E5M2
+
+
+def transpose_conversion_cycles(
+    m: int,
+    n: int,
+    spec: GpuSpec,
+    mode: str,
+    num_warps: int = 4,
+) -> float:
+    """Cycles of the layout conversion inside a transpose kernel."""
+    src_desc = legacy_default_blocked(
+        (m, n), F8E5M2.bits, num_warps, spec.warp_size
+    )
+    src = src_desc.to_linear((m, n))
+    # After tt.trans the data is in the transposed layout; the store
+    # anchor wants the coalesced layout of the (n, m) output.
+    transposed = transpose_layout(src, (1, 0))
+    dst_desc = legacy_default_blocked(
+        (n, m), F8E5M2.bits, num_warps, spec.warp_size
+    )
+    dst = dst_desc.to_linear((n, m))
+    if mode == "linear":
+        plan = plan_conversion(
+            transposed, dst, F8E5M2.bits, spec=spec,
+            allow_shuffle=True, swizzle_mode="optimal",
+        )
+    else:
+        plan = plan_conversion(
+            transposed, dst, F8E5M2.bits, spec=spec,
+            allow_shuffle=False, swizzle_mode="padded",
+            dedupe_broadcast=False,
+        )
+    return price_plan(plan, spec).cycles()
+
+
+def run_fig2(
+    sizes: Sequence[int] = (32, 64, 128, 256),
+    spec: GpuSpec = GH200,
+) -> Table:
+    """Sweep (M, N) and report padded-vs-optimal speedups."""
+    table = Table(
+        title="Figure 2: f8 transpose speedup vs padding heuristic "
+        f"({spec.name})",
+        headers=["M", "N", "padded_cycles", "optimal_cycles", "speedup"],
+    )
+    for m in sizes:
+        for n in sizes:
+            padded = transpose_conversion_cycles(m, n, spec, "legacy")
+            optimal = transpose_conversion_cycles(m, n, spec, "linear")
+            table.add_row(m, n, padded, optimal, padded / optimal)
+    table.notes.append(
+        "paper reports up to ~1.6x on large shapes; the shape to "
+        "preserve is optimal >= padded everywhere, growing with size"
+    )
+    return table

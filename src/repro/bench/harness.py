@@ -1,0 +1,74 @@
+"""Result tables: collection, formatting, and simple assertions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A formatted experiment result."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; cell count must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one named column."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def format(self) -> str:
+        """Render the table as aligned monospace text."""
+        def text(cell: Any) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.2f}"
+            return str(cell)
+
+        widths = [len(h) for h in self.headers]
+        rendered = [[text(c) for c in row] for row in self.rows]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(sep)
+        for row in rendered:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly dict of the table."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (NaN for an empty sequence)."""
+    if not values:
+        return float("nan")
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values))

@@ -1,0 +1,115 @@
+"""SIMD hardware-primitive matching (Section 5.3, Theorem 5.1).
+
+To use ``ldmatrix``/``stmatrix``/vectorized shared instructions, the
+register<->offset map ``L = M^{-1} o D`` (memory layout inverse
+composed with the distributed layout) must be left-divisible by the
+instruction's tile.  When it is not, *generalized vectorization*
+permutes the registers (``L' = P_Reg L``) to expose the structure —
+division and permutation are computed together, column by column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.dims import LANE, OFFSET, REGISTER
+from repro.core.layout import LinearLayout
+from repro.core.ops import divide_left
+from repro.codegen.plan import RegisterPermute
+
+
+def register_offset_map(
+    dist_layout: LinearLayout, memory_layout: LinearLayout
+) -> LinearLayout:
+    """``M^{-1} o D``: hardware indices -> shared offsets.
+
+    ``memory_layout`` maps offsets to logical coords (Definition 4.14)
+    and ``dist_layout`` maps registers/lanes/warps to the same coords,
+    so the composition routes each register slot to its offset.
+    """
+    return memory_layout.invert().compose(dist_layout)
+
+
+def match_instruction_tile(
+    reg_off: LinearLayout, tile: LinearLayout
+) -> bool:
+    """Theorem 5.1: the instruction applies iff ``L / T`` exists."""
+    return divide_left(reg_off, tile) is not None
+
+
+def permute_registers_for_tile(
+    reg_off: LinearLayout, tile: LinearLayout
+) -> Optional[Tuple[LinearLayout, RegisterPermute]]:
+    """Generalized vectorization (Section 5.3).
+
+    Search for a register permutation ``P`` such that the permuted map
+    is left-divisible by ``tile``; returns the permuted map and the
+    permutation step, or ``None``.  The search is greedy: for each low
+    register bit the tile requires, find a register basis with exactly
+    the required image; the remaining registers keep their relative
+    order.
+    """
+    if match_instruction_tile(reg_off, tile):
+        identity = tuple(range(reg_off.in_dim_size(REGISTER)))
+        return reg_off, RegisterPermute(identity)
+    if not tile.has_in_dim(REGISTER):
+        return None
+    k = tile.in_dim_size_log2(REGISTER)
+    n = reg_off.in_dim_size_log2(REGISTER)
+    if k > n:
+        return None
+    tile_images = [
+        tile.basis_image_flat(REGISTER, i) for i in range(k)
+    ]
+    have = reg_off.basis_images_flat(REGISTER)
+    chosen: List[int] = []
+    for want in tile_images:
+        match = next(
+            (
+                i
+                for i, img in enumerate(have)
+                if img == want and i not in chosen
+            ),
+            None,
+        )
+        if match is None:
+            return None
+        chosen.append(match)
+    rest = [i for i in range(n) if i not in chosen]
+    new_order = chosen + rest  # new bit j <- old bit new_order[j]
+    old_bases = reg_off.bases[REGISTER]
+    new_bases = [old_bases[i] for i in new_order]
+    bases = reg_off.bases
+    bases[REGISTER] = new_bases
+    permuted = LinearLayout(
+        bases, reg_off.out_dim_sizes(), require_surjective=False
+    )
+    if divide_left(permuted, tile) is None:
+        return None
+    # Bit reordering corresponds to the register permutation
+    # new_reg = permute(old_reg) where each old bit i moves to the new
+    # position holding it.
+    pos_of_old = {old: new for new, old in enumerate(new_order)}
+    size = 1 << n
+    dst_to_src = []
+    for new_reg in range(size):
+        old_reg = 0
+        for new_bit in range(n):
+            if (new_reg >> new_bit) & 1:
+                old_reg |= 1 << new_order[new_bit]
+        dst_to_src.append(old_reg)
+    del pos_of_old
+    return permuted, RegisterPermute(tuple(dst_to_src))
+
+
+def ldmatrix_applicable(
+    dist_layout: LinearLayout,
+    memory_layout: LinearLayout,
+    tile: LinearLayout,
+) -> bool:
+    """Whether ldmatrix/stmatrix can service this register<->memory map,
+    directly or after a register permutation."""
+    reg_off = register_offset_map(dist_layout, memory_layout)
+    if match_instruction_tile(reg_off, tile):
+        return True
+    return permute_registers_for_tile(reg_off, tile) is not None

@@ -1,0 +1,88 @@
+"""Warp-shuffle lowering of ``tl.gather`` (Section 5.5).
+
+When every element along the gather axis lives within one warp
+(``L_Wrp^axis`` all zero), the gather can be served by warp shuffles
+instead of a shared-memory round trip.  Each output position costs
+``n = 2^{|L_Thr^axis|}`` shuffle rounds: in round ``i`` every lane
+broadcasts its ``i``-th slice along the axis and keeps the incoming
+value only if the (data-dependent) source register matches.
+
+The plan is static; the simulator resolves the data-dependent register
+and lane choices when it executes with concrete index values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.dims import LANE, REGISTER, WARP
+from repro.core.layout import LinearLayout
+from repro.codegen.views import DistributedView
+from repro.f2.bitvec import popcount
+
+
+class GatherPlanError(ValueError):
+    """The gather cannot use the warp-shuffle fast path."""
+
+
+@dataclass(frozen=True)
+class GatherPlan:
+    """Static shape of a warp-shuffle gather.
+
+    ``axis_lane_bits``/``axis_reg_bits`` count how the gather axis is
+    spread over lanes and registers; the number of shuffle rounds per
+    output register slot is ``2^{axis_lane_bits}``, and the total
+    shuffle instruction count is ``rounds_per_position *
+    positions_per_thread``.
+    """
+
+    axis: int
+    axis_lane_bits: int
+    axis_reg_bits: int
+    positions_per_thread: int
+
+    @property
+    def rounds_per_position(self) -> int:
+        """Shuffle rounds per output position: 2^|L_Thr^axis|."""
+        return 1 << self.axis_lane_bits
+
+    @property
+    def total_shuffles(self) -> int:
+        """Total shuffle instructions for the whole gather."""
+        return self.rounds_per_position * self.positions_per_thread
+
+
+def axis_component_bits(layout: LinearLayout, in_dim: str, axis: int) -> int:
+    """How many ``in_dim`` basis vectors hit output dim ``axis``."""
+    count = 0
+    for img in layout.bases.get(in_dim, []):
+        if img[axis] != 0:
+            count += 1
+    return count
+
+
+def can_gather_with_shuffles(layout: LinearLayout, axis: int) -> bool:
+    """The Section 5.5 test: all of ``L_Wrp^axis`` are zero."""
+    return axis_component_bits(layout, WARP, axis) == 0
+
+
+def plan_gather(layout: LinearLayout, axis: int) -> GatherPlan:
+    """Plan a warp-shuffle gather; raises if the axis crosses warps."""
+    names = list(layout.out_dims)
+    if not 0 <= axis < len(names):
+        raise GatherPlanError(f"axis {axis} out of range")
+    if not can_gather_with_shuffles(layout, axis):
+        raise GatherPlanError(
+            "gather axis is distributed across warps; shared memory "
+            "is required"
+        )
+    lane_bits = axis_component_bits(layout, LANE, axis)
+    reg_bits = axis_component_bits(layout, REGISTER, axis)
+    positions = layout.in_dim_size(REGISTER)
+    return GatherPlan(
+        axis=axis,
+        axis_lane_bits=lane_bits,
+        axis_reg_bits=reg_bits,
+        positions_per_thread=positions,
+    )

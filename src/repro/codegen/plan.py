@@ -1,0 +1,110 @@
+"""Executable conversion plans.
+
+A :class:`ConversionPlan` is a list of steps the simulated GPU
+(:mod:`repro.gpusim`) can execute and the cost model can price.  Every
+step carries explicit per-lane routing tables — nothing is symbolic at
+this point, mirroring how the real compiler has fully lowered the
+conversion to PTX by this stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.layout import LinearLayout
+
+
+@dataclass(frozen=True)
+class RegisterPermute:
+    """Intra-thread data movement: ``dst_reg <- src_reg``.
+
+    ``dst_to_src[r]`` names the source register whose value ends up in
+    destination register ``r`` (the register permutation
+    ``(B^{-1}A)_Reg`` of Section 5.4, possibly non-injective when the
+    destination broadcasts).
+    """
+
+    dst_to_src: Tuple[int, ...]
+
+    def __post_init__(self):
+        for r in self.dst_to_src:
+            if r < 0:
+                raise ValueError(f"negative source register {r}")
+
+
+@dataclass(frozen=True)
+class ShuffleRound:
+    """One ``shfl.sync`` round (Section 5.4, Figure 4).
+
+    Per destination lane ``l``: read lanes[l] is the source lane,
+    ``send_regs[l]`` the registers the *source* lane contributes (a
+    vectorized group of ``2^|V|``), and ``recv_regs[l]`` where lane
+    ``l`` stores the received values.  Real shuffles move 32 bits per
+    instruction; ``insts_per_round`` reflects how many instructions the
+    vector width requires.
+    """
+
+    src_lane: Tuple[int, ...]
+    send_regs: Tuple[Tuple[int, ...], ...]
+    recv_regs: Tuple[Tuple[int, ...], ...]
+    insts_per_round: int = 1
+
+
+@dataclass(frozen=True)
+class SharedStore:
+    """Per-lane vectorized stores to shared memory.
+
+    ``accesses[lane]`` is a list of ``(base_offset, regs)`` pairs: the
+    lane stores the values of ``regs`` contiguously starting at element
+    offset ``base_offset``.  All lanes issue in lockstep, so entry
+    ``k`` across lanes forms one warp instruction.
+    """
+
+    accesses: Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], ...]
+    elem_bytes: int
+    use_stmatrix: bool = False
+
+
+@dataclass(frozen=True)
+class SharedLoad:
+    """Per-lane vectorized loads from shared memory (same encoding)."""
+
+    accesses: Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], ...]
+    elem_bytes: int
+    use_ldmatrix: bool = False
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A CTA-wide ``bar.sync``."""
+
+
+Step = object  # union of the five step types above
+
+
+@dataclass
+class ConversionPlan:
+    """A fully lowered layout conversion.
+
+    ``kind`` records the decision the planner made ("noop",
+    "register", "shuffle", "shared"); ``src``/``dst`` keep the layouts
+    for verification; ``steps`` is what executes.
+    """
+
+    kind: str
+    src: LinearLayout
+    dst: LinearLayout
+    steps: List[Step] = field(default_factory=list)
+    shared_bytes: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def num_shuffle_rounds(self) -> int:
+        """How many shuffle rounds the plan contains."""
+        return sum(1 for s in self.steps if isinstance(s, ShuffleRound))
+
+    def uses_shared_memory(self) -> bool:
+        """True iff the plan stages data through shared memory."""
+        return any(
+            isinstance(s, (SharedStore, SharedLoad)) for s in self.steps
+        )

@@ -1,0 +1,26 @@
+"""Exception taxonomy for the linear-layout core."""
+
+from __future__ import annotations
+
+
+class LayoutError(ValueError):
+    """Base class for all layout-related failures."""
+
+
+class DimensionError(LayoutError):
+    """A dim name or size did not match what the operation requires."""
+
+
+class NonInvertibleLayoutError(LayoutError):
+    """Inversion requested for a layout with no (right) inverse."""
+
+
+class NotDivisibleError(LayoutError):
+    """Left division ``L / T`` requested but L lacks the block structure
+    ``[[T, 0], [0, *]]`` of Definition 4.4."""
+
+
+class LegacyUnsupportedError(LayoutError):
+    """Raised by the legacy-Triton baseline when it hits one of the
+    documented gaps of the pre-linear-layout system (the failure modes
+    measured in Tables 3-5)."""

@@ -1,0 +1,24 @@
+"""Triton's layout engine, reproduced over a mini tensor IR.
+
+``KernelBuilder`` writes the op graph a Triton kernel lowers to;
+``LayoutEngine`` assigns anchor layouts (loads/stores get blocked
+layouts, ``dot`` gets the platform's MMA layout), propagates layouts
+forward through shape operations, inserts ``convert_layout`` ops at
+conflicts, removes conversions between equivalent layouts (linear mode
+only — legacy cannot compare layouts across kinds), and lowers every
+remaining conversion to an executable plan with a cost trace.
+"""
+
+from repro.engine.ir import Graph, Op, OpKind, Value
+from repro.engine.builder import KernelBuilder
+from repro.engine.engine import CompiledKernel, LayoutEngine
+
+__all__ = [
+    "CompiledKernel",
+    "Graph",
+    "KernelBuilder",
+    "LayoutEngine",
+    "Op",
+    "OpKind",
+    "Value",
+]

@@ -1,0 +1,121 @@
+"""Forward layout transfer functions for every IR op (Section 4.4).
+
+For shape operations these are the closure constructions of Theorem
+9.3: given the input layout, the returned output layout makes the op a
+no-op on registers.  The legacy system lacks most of these transfers
+(e.g. the transpose of an MMA layout is inexpressible), which the
+engine models by forcing a conversion to blocked first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+from repro.core.layout import LinearLayout
+from repro.core.reshape import (
+    broadcast_layout,
+    expand_dims_layout,
+    reshape_layout,
+    transpose_layout,
+)
+from repro.core.reshape import join_layout as join_linear
+from repro.core.reshape import split_layout as split_linear
+from repro.engine.ir import Op, OpKind
+from repro.layouts.blocked import BlockedLayout
+from repro.layouts.sliced import SlicedLayout, slice_linear_layout
+
+
+def forward_layout(op: Op, in_layout: LinearLayout) -> LinearLayout:
+    """The output linear layout making ``op`` a register no-op."""
+    kind = op.kind
+    if kind == OpKind.TRANS:
+        return transpose_layout(in_layout, op.attrs["perm"])
+    if kind == OpKind.RESHAPE:
+        return reshape_layout(in_layout, op.attrs["shape"])
+    if kind == OpKind.EXPAND_DIMS:
+        return expand_dims_layout(in_layout, op.attrs["axis"])
+    if kind == OpKind.BROADCAST:
+        out_shape = op.attrs["shape"]
+        layout = in_layout
+        for axis, (old, new) in enumerate(
+            zip(op.inputs[0].shape, out_shape)
+        ):
+            if old == 1 and new > 1:
+                layout = broadcast_layout(layout, axis, new)
+        return layout
+    if kind == OpKind.REDUCE:
+        return slice_linear_layout(in_layout, op.attrs["axis"])
+    if kind == OpKind.JOIN:
+        return join_linear(in_layout)
+    if kind == OpKind.SPLIT:
+        return split_linear(in_layout)
+    if kind in (OpKind.ELEMENTWISE, OpKind.GATHER, OpKind.CONVERT_LAYOUT):
+        return in_layout
+    raise ValueError(f"no forward transfer for {kind}")
+
+
+def collapse_dims_to_one(
+    layout: LinearLayout, axes: Sequence[int]
+) -> LinearLayout:
+    """The layout of a broadcast *input* that makes broadcasting to
+    ``layout`` free.
+
+    Zeroing the basis coordinates of the broadcast axes gives the
+    layout in which every hardware slot holds the element its
+    broadcast copy will replicate — the backward transfer function of
+    ``tt.broadcast`` (Theorem 9.3), which Triton's rematerialization
+    uses to move conversions onto the smaller pre-broadcast tensor.
+    """
+    names = list(layout.out_dims)
+    axis_set = set(axes)
+    bases = {}
+    for d in layout.in_dims:
+        bases[d] = [
+            tuple(
+                0 if i in axis_set else c for i, c in enumerate(img)
+            )
+            for img in layout.bases[d]
+        ]
+    outs = {
+        name: (1 if i in axis_set else layout.out_dim_size(name))
+        for i, name in enumerate(names)
+    }
+    return LinearLayout(bases, outs, require_surjective=False)
+
+
+def forward_descriptor(op: Op, desc: object) -> Optional[object]:
+    """Legacy descriptor propagation — None when legacy cannot express
+    the result (forcing a conversion)."""
+    kind = op.kind
+    if kind == OpKind.ELEMENTWISE or kind == OpKind.GATHER:
+        return desc
+    if kind == OpKind.TRANS:
+        if isinstance(desc, BlockedLayout):
+            perm = op.attrs["perm"]
+            inv = [0] * len(perm)
+            for i, p in enumerate(perm):
+                inv[p] = i
+            return BlockedLayout(
+                size_per_thread=tuple(
+                    desc.size_per_thread[p] for p in perm
+                ),
+                threads_per_warp=tuple(
+                    desc.threads_per_warp[p] for p in perm
+                ),
+                warps_per_cta=tuple(desc.warps_per_cta[p] for p in perm),
+                order=tuple(inv[o] for o in desc.order),
+            )
+        return None  # legacy cannot transpose MMA & friends
+    if kind == OpKind.REDUCE:
+        if desc is None:
+            return None
+        axis = op.attrs["axis"]
+        size = op.inputs[0].shape[axis]
+        return SlicedLayout(parent=desc, dim=axis, parent_dim_size=size)
+    if kind in (OpKind.RESHAPE, OpKind.EXPAND_DIMS, OpKind.BROADCAST,
+                OpKind.JOIN, OpKind.SPLIT):
+        if isinstance(desc, BlockedLayout):
+            return None  # legacy re-derives a fresh blocked layout
+        return None
+    return None

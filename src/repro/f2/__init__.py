@@ -1,0 +1,79 @@
+"""Linear algebra over the two-element field :math:`\\mathbb{F}_2`.
+
+This package is the mathematical substrate of the reproduction: every
+layout in :mod:`repro.core` is ultimately a matrix over
+:math:`\\mathbb{F}_2`, and every codegen algorithm in :mod:`repro.codegen`
+is phrased in terms of the subspace operations implemented here.
+
+Vectors are plain Python integers interpreted as bit-vectors (bit ``i``
+is coordinate ``i``), matrices are column-major tuples of such integers
+(:class:`F2Matrix`).  Addition is XOR, multiplication is AND, so a
+matrix-vector product is the XOR of the columns selected by the set bits
+of the input vector.
+"""
+
+from repro.f2.bitvec import (
+    bit_length,
+    bits_of,
+    dot,
+    is_power_of_two,
+    log2_int,
+    parity,
+    popcount,
+)
+from repro.f2.matrix import F2Matrix
+from repro.f2.solve import (
+    InconsistentSystemError,
+    column_echelon,
+    image_basis,
+    inverse,
+    is_injective,
+    is_surjective,
+    kernel_basis,
+    min_weight_solution,
+    pivot_columns,
+    rank,
+    right_inverse,
+    row_echelon,
+    solve,
+    solve_matrix,
+)
+from repro.f2.subspace import (
+    Subspace,
+    complement_basis,
+    extend_to_basis,
+    intersect,
+    is_independent,
+    reduce_to_basis,
+)
+
+__all__ = [
+    "F2Matrix",
+    "InconsistentSystemError",
+    "Subspace",
+    "bit_length",
+    "bits_of",
+    "column_echelon",
+    "complement_basis",
+    "dot",
+    "extend_to_basis",
+    "image_basis",
+    "intersect",
+    "inverse",
+    "is_independent",
+    "is_injective",
+    "is_power_of_two",
+    "is_surjective",
+    "kernel_basis",
+    "log2_int",
+    "min_weight_solution",
+    "pivot_columns",
+    "parity",
+    "popcount",
+    "rank",
+    "reduce_to_basis",
+    "right_inverse",
+    "row_echelon",
+    "solve",
+    "solve_matrix",
+]

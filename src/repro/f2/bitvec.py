@@ -1,0 +1,77 @@
+"""Bit-vector primitives for :math:`\\mathbb{F}_2` arithmetic.
+
+A vector in :math:`\\mathbb{F}_2^n` is represented as a non-negative
+Python integer whose bit ``i`` holds coordinate ``i``.  The least
+significant bit is coordinate 0, matching the paper's convention that
+"the least significant bits come first in the vector" (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def popcount(x: int) -> int:
+    """Number of set bits (the Hamming weight of the vector)."""
+    if x < 0:
+        raise ValueError(f"bit-vectors must be non-negative, got {x}")
+    return bin(x).count("1")
+
+
+def parity(x: int) -> int:
+    """Parity of the set bits: the sum of coordinates in F2."""
+    return popcount(x) & 1
+
+
+def dot(a: int, b: int) -> int:
+    """Inner product of two F2 vectors: parity of the AND."""
+    return parity(a & b)
+
+
+def bits_of(x: int, width: int) -> List[int]:
+    """Expand ``x`` into a list of ``width`` bits, LSB first."""
+    if x >= (1 << width):
+        raise ValueError(f"value {x} does not fit in {width} bits")
+    return [(x >> i) & 1 for i in range(width)]
+
+
+def bit_length(x: int) -> int:
+    """Number of bits needed to represent ``x`` (0 needs 0 bits)."""
+    return x.bit_length()
+
+
+def iter_set_bits(x: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``x``, ascending."""
+    while x:
+        low = x & -x
+        yield low.bit_length() - 1
+        x ^= low
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two (including 2**0)."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_int(x: int) -> int:
+    """Exact integer base-2 logarithm; raises for non-powers of two.
+
+    Layout dimensions in Triton are restricted to powers of two
+    (Section 4.1); this helper enforces that invariant at every
+    construction site.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"expected a power of two, got {x}")
+    return x.bit_length() - 1
+
+
+def lowest_set_bit(x: int) -> int:
+    """Index of the least significant set bit; -1 for zero."""
+    if x == 0:
+        return -1
+    return (x & -x).bit_length() - 1
+
+
+def highest_set_bit(x: int) -> int:
+    """Index of the most significant set bit; -1 for zero."""
+    return x.bit_length() - 1

@@ -1,0 +1,231 @@
+"""Dense matrices over :math:`\\mathbb{F}_2` with column-major bit packing.
+
+An ``F2Matrix`` with ``rows`` rows and ``cols`` columns stores each
+column as an integer bitmask: bit ``i`` of column ``j`` is the matrix
+entry ``(i, j)``.  This makes the matrix-vector product ``M @ v`` the
+XOR of the columns selected by the set bits of ``v`` — exactly the
+computation the paper performs when mapping hardware indices to logical
+tensor coordinates (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.f2.bitvec import bits_of, iter_set_bits
+
+
+class F2Matrix:
+    """An immutable ``rows x cols`` matrix over F2.
+
+    Columns are integers (bit ``i`` = row ``i``).  The class supports
+    the operator algebra the paper relies on: multiplication
+    (composition), direct sum (the categorical product of layouts,
+    Definition 4.3), transpose, stacking, and slicing.
+    """
+
+    __slots__ = ("_rows", "_cols", "_columns")
+
+    def __init__(self, rows: int, columns: Sequence[int]):
+        if rows < 0:
+            raise ValueError(f"rows must be non-negative, got {rows}")
+        cols = list(columns)
+        limit = 1 << rows
+        for j, c in enumerate(cols):
+            if not 0 <= c < limit:
+                raise ValueError(
+                    f"column {j} value {c:#x} does not fit in {rows} rows"
+                )
+        self._rows = rows
+        self._cols = len(cols)
+        self._columns = tuple(cols)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(rows: int, cols: int) -> "F2Matrix":
+        """The all-zeros matrix."""
+        return F2Matrix(rows, [0] * cols)
+
+    @staticmethod
+    def identity(n: int) -> "F2Matrix":
+        """The n x n identity."""
+        return F2Matrix(n, [1 << i for i in range(n)])
+
+    @staticmethod
+    def from_rows(rows: Sequence[Sequence[int]]) -> "F2Matrix":
+        """Build from a list of rows of 0/1 entries."""
+        nrows = len(rows)
+        ncols = len(rows[0]) if nrows else 0
+        cols = [0] * ncols
+        for i, row in enumerate(rows):
+            if len(row) != ncols:
+                raise ValueError("ragged rows")
+            for j, entry in enumerate(row):
+                if entry not in (0, 1):
+                    raise ValueError(f"entries must be 0/1, got {entry}")
+                if entry:
+                    cols[j] |= 1 << i
+        return F2Matrix(nrows, cols)
+
+    @staticmethod
+    def from_cols(rows: int, cols: Iterable[int]) -> "F2Matrix":
+        """Build from column bitmasks (alias of the constructor)."""
+        return F2Matrix(rows, list(cols))
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of rows."""
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        """Number of columns."""
+        return self._cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols)."""
+        return (self._rows, self._cols)
+
+    @property
+    def columns(self) -> Tuple[int, ...]:
+        """The columns as bitmasks (bit i = row i)."""
+        return self._columns
+
+    def column(self, j: int) -> int:
+        """Column ``j`` as a bitmask (bit i = row i)."""
+        return self._columns[j]
+
+    def entry(self, i: int, j: int) -> int:
+        """The (i, j) entry as 0 or 1."""
+        if not 0 <= i < self._rows:
+            raise IndexError(f"row {i} out of range")
+        return (self._columns[j] >> i) & 1
+
+    def row(self, i: int) -> int:
+        """Row ``i`` as a bitmask (bit j = column j)."""
+        if not 0 <= i < self._rows:
+            raise IndexError(f"row {i} out of range")
+        out = 0
+        for j, c in enumerate(self._columns):
+            out |= ((c >> i) & 1) << j
+        return out
+
+    def to_rows(self) -> List[List[int]]:
+        """Dense row-major list-of-lists of 0/1 entries."""
+        return [bits_of(self.row(i), self._cols) for i in range(self._rows)]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def matvec(self, v: int) -> int:
+        """Matrix-vector product over F2: XOR of selected columns."""
+        if not 0 <= v < (1 << self._cols):
+            raise ValueError(f"vector {v:#x} does not fit in {self._cols} bits")
+        out = 0
+        for j in iter_set_bits(v):
+            out ^= self._columns[j]
+        return out
+
+    def __matmul__(self, other: "F2Matrix") -> "F2Matrix":
+        """Matrix multiplication ``self @ other`` over F2."""
+        if self._cols != other._rows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}"
+            )
+        return F2Matrix(self._rows, [self.matvec(c) for c in other._columns])
+
+    def __add__(self, other: "F2Matrix") -> "F2Matrix":
+        """Entry-wise XOR."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} + {other.shape}")
+        return F2Matrix(
+            self._rows,
+            [a ^ b for a, b in zip(self._columns, other._columns)],
+        )
+
+    def transpose(self) -> "F2Matrix":
+        """The transposed matrix."""
+        return F2Matrix(self._cols, [self.row(i) for i in range(self._rows)])
+
+    def direct_sum(self, other: "F2Matrix") -> "F2Matrix":
+        """Block diagonal [[self, 0], [0, other]] (Definition 4.3)."""
+        cols = list(self._columns)
+        cols.extend(c << self._rows for c in other._columns)
+        return F2Matrix(self._rows + other._rows, cols)
+
+    def hstack(self, other: "F2Matrix") -> "F2Matrix":
+        """Concatenate columns: [self | other]."""
+        if self._rows != other._rows:
+            raise ValueError("row mismatch in hstack")
+        return F2Matrix(self._rows, self._columns + other._columns)
+
+    def vstack(self, other: "F2Matrix") -> "F2Matrix":
+        """Concatenate rows: [self ; other]."""
+        if self._cols != other._cols:
+            raise ValueError("column mismatch in vstack")
+        cols = [
+            a | (b << self._rows)
+            for a, b in zip(self._columns, other._columns)
+        ]
+        return F2Matrix(self._rows + other._rows, cols)
+
+    def submatrix(
+        self, row_range: Tuple[int, int], col_range: Tuple[int, int]
+    ) -> "F2Matrix":
+        """The block with rows ``[r0, r1)`` and columns ``[c0, c1)``."""
+        r0, r1 = row_range
+        c0, c1 = col_range
+        if not (0 <= r0 <= r1 <= self._rows and 0 <= c0 <= c1 <= self._cols):
+            raise IndexError("submatrix range out of bounds")
+        mask = (1 << (r1 - r0)) - 1
+        cols = [(self._columns[j] >> r0) & mask for j in range(c0, c1)]
+        return F2Matrix(r1 - r0, cols)
+
+    def select_columns(self, indices: Sequence[int]) -> "F2Matrix":
+        """A matrix with columns reordered / selected by ``indices``."""
+        return F2Matrix(self._rows, [self._columns[j] for j in indices])
+
+    def is_zero(self) -> bool:
+        """True iff every entry is zero."""
+        return all(c == 0 for c in self._columns)
+
+    def is_identity(self) -> bool:
+        """True iff the matrix is the square identity."""
+        if self._rows != self._cols:
+            return False
+        return all(c == (1 << j) for j, c in enumerate(self._columns))
+
+    def is_permutation(self) -> bool:
+        """True iff the matrix is a permutation matrix."""
+        if self._rows != self._cols:
+            return False
+        seen = 0
+        for c in self._columns:
+            if c == 0 or (c & (c - 1)) != 0 or (seen & c):
+                return False
+            seen |= c
+        return True
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, F2Matrix):
+            return NotImplemented
+        return self.shape == other.shape and self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash((self._rows, self._columns))
+
+    def __repr__(self) -> str:
+        body = "\n".join(
+            " ".join(str(b) for b in bits_of(self.row(i), self._cols))
+            for i in range(self._rows)
+        )
+        return f"F2Matrix({self._rows}x{self._cols})\n{body}"

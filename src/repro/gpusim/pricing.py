@@ -1,0 +1,90 @@
+"""Fast plan pricing: the trace a plan produces, without moving data.
+
+The benchmark harness compiles hundreds of kernels; executing every
+conversion with full data movement would dominate runtime without
+changing the counts.  Pricing walks the plan steps, measures bank
+behaviour on warp 0's actual addresses (all warps are congruent for
+the plans the planner emits), and emits the same instruction records
+the machine would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.codegen.plan import (
+    Barrier,
+    ConversionPlan,
+    RegisterPermute,
+    SharedLoad,
+    SharedStore,
+    ShuffleRound,
+)
+from repro.gpusim.memory import SharedMemory
+from repro.gpusim.trace import Trace
+from repro.hardware.instructions import InstructionKind
+from repro.hardware.spec import GpuSpec
+
+
+def _price_shared(step, trace: Trace, spec: GpuSpec, kind) -> None:
+    memory = SharedMemory(spec, step.elem_bytes)
+    ws = spec.warp_size
+    lane_lists = step.accesses[:ws]  # warp 0
+    max_accesses = max((len(a) for a in step.accesses), default=0)
+    if max_accesses == 0:
+        return
+    if kind == InstructionKind.SHARED_STORE and step.use_stmatrix:
+        _price_matrix(step, trace, InstructionKind.STMATRIX)
+        return
+    if kind == InstructionKind.SHARED_LOAD and step.use_ldmatrix:
+        _price_matrix(step, trace, InstructionKind.LDMATRIX)
+        return
+    total_wavefronts = 0
+    vector_bits = 32
+    for k in range(max_accesses):
+        requests: List[Tuple[int, int]] = []
+        for lane_accesses in lane_lists:
+            if k < len(lane_accesses):
+                base, regs = lane_accesses[k]
+                requests.append((base, len(regs)))
+                vector_bits = max(
+                    vector_bits, len(regs) * step.elem_bytes * 8
+                )
+        if requests:
+            total_wavefronts += memory.wavefronts(
+                requests, kind == InstructionKind.SHARED_STORE
+            )
+    trace.emit(
+        kind,
+        vector_bits=vector_bits,
+        count=max_accesses,
+        wavefronts=max(1, total_wavefronts // max_accesses),
+    )
+
+
+def _price_matrix(step, trace: Trace, kind: InstructionKind) -> None:
+    bytes_per_lane = 0
+    for lane_accesses in step.accesses:
+        total = sum(len(regs) for _, regs in lane_accesses)
+        bytes_per_lane = max(bytes_per_lane, total * step.elem_bytes)
+    insts = max(1, (bytes_per_lane + 15) // 16)
+    trace.emit(kind, vector_bits=128, count=insts, wavefronts=1)
+
+
+def price_plan(plan: ConversionPlan, spec: GpuSpec) -> Trace:
+    """The instruction trace of a plan, computed without data."""
+    trace = Trace(spec)
+    for step in plan.steps:
+        if isinstance(step, RegisterPermute):
+            continue  # register renaming is free
+        if isinstance(step, ShuffleRound):
+            trace.emit(InstructionKind.SHUFFLE, count=step.insts_per_round)
+        elif isinstance(step, SharedStore):
+            _price_shared(step, trace, spec, InstructionKind.SHARED_STORE)
+        elif isinstance(step, SharedLoad):
+            _price_shared(step, trace, spec, InstructionKind.SHARED_LOAD)
+        elif isinstance(step, Barrier):
+            trace.emit(InstructionKind.BARRIER)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown step {step!r}")
+    return trace

@@ -1,0 +1,113 @@
+"""Per-thread register files and distributed-tensor materialization."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.dims import LANE, REGISTER, WARP
+from repro.core.layout import LinearLayout
+from repro.codegen.views import DistributedView
+
+Slot = Tuple[int, int, int]  # (warp, lane, reg)
+
+
+class RegisterFile:
+    """Values held by every (warp, lane, register) slot of a CTA."""
+
+    def __init__(self, num_warps: int, warp_size: int):
+        self.num_warps = num_warps
+        self.warp_size = warp_size
+        self._values: Dict[Slot, object] = {}
+
+    def write(self, warp: int, lane: int, reg: int, value: object) -> None:
+        """Set one register slot."""
+        self._values[(warp, lane, reg)] = value
+
+    def read(self, warp: int, lane: int, reg: int) -> object:
+        """Read one register slot; raises KeyError if never written."""
+        try:
+            return self._values[(warp, lane, reg)]
+        except KeyError:
+            raise KeyError(
+                f"read of unwritten register (w={warp}, l={lane}, r={reg})"
+            ) from None
+
+    def has(self, warp: int, lane: int, reg: int) -> bool:
+        """True iff the slot has been written."""
+        return (warp, lane, reg) in self._values
+
+    def copy(self) -> "RegisterFile":
+        """An independent copy of all slots."""
+        out = RegisterFile(self.num_warps, self.warp_size)
+        out._values = dict(self._values)
+        return out
+
+    def as_dict(self) -> Dict[Slot, object]:
+        """All written slots as a plain dict."""
+        return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def distributed_data(
+    layout: LinearLayout,
+    num_warps: int,
+    warp_size: int,
+    value_of: Optional[Callable[[int], object]] = None,
+) -> RegisterFile:
+    """Materialize a register file where every slot holds the value of
+    the logical element its layout assigns to it.
+
+    ``value_of`` maps the flattened logical position to a value
+    (default: the position itself), so conversion correctness checks
+    reduce to comparing integers.
+    """
+    view = DistributedView(layout)
+    rf = RegisterFile(num_warps, warp_size)
+    regs = layout.in_dim_size(REGISTER)
+    lanes = layout.in_dim_size(LANE)
+    warps = layout.in_dim_size(WARP)
+    if value_of is None:
+        value_of = lambda p: p  # noqa: E731
+    for w in range(warps):
+        for l in range(lanes):
+            for r in range(regs):
+                p = view.flat_of({REGISTER: r, LANE: l, WARP: w})
+                rf.write(w, l, r, value_of(p))
+    return rf
+
+
+def expected_data(
+    layout: LinearLayout,
+    num_warps: int,
+    warp_size: int,
+    value_of: Optional[Callable[[int], object]] = None,
+) -> RegisterFile:
+    """Alias of :func:`distributed_data` for readability in checks."""
+    return distributed_data(layout, num_warps, warp_size, value_of)
+
+
+def assert_matches_layout(
+    rf: RegisterFile,
+    layout: LinearLayout,
+    value_of: Optional[Callable[[int], object]] = None,
+) -> None:
+    """Raise AssertionError when any slot disagrees with the layout."""
+    view = DistributedView(layout)
+    regs = layout.in_dim_size(REGISTER)
+    lanes = layout.in_dim_size(LANE)
+    warps = layout.in_dim_size(WARP)
+    if value_of is None:
+        value_of = lambda p: p  # noqa: E731
+    for w in range(warps):
+        for l in range(lanes):
+            for r in range(regs):
+                p = view.flat_of({REGISTER: r, LANE: l, WARP: w})
+                got = rf.read(w, l, r)
+                want = value_of(p)
+                if got != want:
+                    raise AssertionError(
+                        f"slot (w={w}, l={l}, r={r}) holds {got!r}, "
+                        f"expected element {want!r} (flat {p})"
+                    )

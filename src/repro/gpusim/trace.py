@@ -1,0 +1,71 @@
+"""Execution traces: the instruction stream a plan produced."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.hardware.cost import CostModel
+from repro.hardware.instructions import Instruction, InstructionKind
+from repro.hardware.spec import GpuSpec
+
+
+@dataclass
+class Trace:
+    """Instruction stream plus derived statistics."""
+
+    spec: GpuSpec
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def emit(
+        self,
+        kind: InstructionKind,
+        vector_bits: int = 32,
+        count: int = 1,
+        wavefronts: int = 1,
+        note: str = "",
+        dependent: bool = False,
+    ) -> None:
+        """Append one instruction record (no-op for count <= 0)."""
+        if count <= 0:
+            return
+        self.instructions.append(
+            Instruction(
+                kind=kind,
+                vector_bits=vector_bits,
+                count=count,
+                wavefronts=wavefronts,
+                note=note,
+                dependent=dependent,
+            )
+        )
+
+    def cycles(self) -> float:
+        """Total cycles under the platform's cost model."""
+        return CostModel(self.spec).total_cycles(self.instructions)
+
+    def histogram(self) -> Dict[str, int]:
+        """Instruction counts by mnemonic."""
+        return CostModel(self.spec).histogram(self.instructions)
+
+    def count(self, kind: InstructionKind) -> int:
+        """Total count of one instruction kind."""
+        return sum(
+            i.count for i in self.instructions if i.kind == kind
+        )
+
+    def shared_instruction_count(self) -> int:
+        """Loads + stores + ld/stmatrix — the Table 4 / 6 metric."""
+        kinds = (
+            InstructionKind.SHARED_LOAD,
+            InstructionKind.SHARED_STORE,
+            InstructionKind.LDMATRIX,
+            InstructionKind.STMATRIX,
+        )
+        return sum(self.count(k) for k in kinds)
+
+    def merge(self, other: "Trace") -> "Trace":
+        """A new trace with both instruction streams concatenated."""
+        out = Trace(self.spec, list(self.instructions))
+        out.instructions.extend(other.instructions)
+        return out

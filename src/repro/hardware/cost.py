@@ -1,0 +1,76 @@
+"""The simulator's cost model: instruction stream -> cycles.
+
+Absolute numbers are synthetic; what the model preserves — and what
+the paper's speedup figures depend on — are the *ratios* between
+instruction classes: a shared-memory round trip (store + barrier +
+load) costs far more than a few shuffle rounds, bank conflicts
+multiply shared wavefronts, and vectorization divides instruction
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.hardware.instructions import Instruction, InstructionKind
+from repro.hardware.spec import GpuSpec
+
+
+@dataclass
+class CostModel:
+    """Prices instruction streams on a given platform."""
+
+    spec: GpuSpec
+
+    def instruction_cycles(self, inst: Instruction) -> float:
+        """Cycles attributed to one :class:`Instruction` record."""
+        spec = self.spec
+        kind = inst.kind
+        if kind in (
+            InstructionKind.SHARED_LOAD,
+            InstructionKind.SHARED_STORE,
+            InstructionKind.LDMATRIX,
+            InstructionKind.STMATRIX,
+        ):
+            if inst.dependent:
+                # Address depends on a just-produced value: pay the
+                # full access latency per wavefront, unpipelined.
+                per = (
+                    spec.issue_cycles
+                    + spec.smem_access_cycles * inst.wavefronts
+                )
+            else:
+                # Independent accesses pipeline: issue plus the bank
+                # service time of each wavefront.
+                per = spec.issue_cycles + 2 * inst.wavefronts
+        elif kind in (InstructionKind.GLOBAL_LOAD, InstructionKind.GLOBAL_STORE):
+            lanes_bytes = self.spec.warp_size * inst.vector_bits // 8
+            transactions = max(1, lanes_bytes // 128)
+            per = spec.issue_cycles + spec.gmem_transaction_cycles * transactions
+        elif kind == InstructionKind.SHUFFLE:
+            per = spec.shuffle_cycles
+        elif kind == InstructionKind.BARRIER:
+            per = spec.barrier_cycles
+        elif kind == InstructionKind.MMA:
+            # ``wavefronts`` scales for wide tiles (wgmma/mfma) so the
+            # per-MAC throughput stays comparable across flavors.
+            per = 16 * inst.wavefronts
+        elif kind == InstructionKind.BYTE_PERM:
+            per = spec.alu_cycles
+        else:
+            per = spec.alu_cycles
+        return per * inst.count
+
+    def total_cycles(self, instructions: Iterable[Instruction]) -> float:
+        """Sum of instruction cycles over a stream."""
+        return sum(self.instruction_cycles(i) for i in instructions)
+
+    def histogram(
+        self, instructions: Iterable[Instruction]
+    ) -> Dict[str, int]:
+        """Instruction counts by kind (the Table 4 / Table 6 columns)."""
+        out: Dict[str, int] = {}
+        for inst in instructions:
+            out[inst.kind.value] = out.get(inst.kind.value, 0) + inst.count
+        return out

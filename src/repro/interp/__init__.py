@@ -1,0 +1,12 @@
+"""NumPy reference execution of kernel graphs.
+
+The interpreter is the correctness oracle: it executes an IR graph on
+concrete arrays with the mixed-precision codecs applied at the same
+points the GPU emulation would apply them, so an engine transformation
+that altered semantics (or a conversion plan that misrouted data)
+shows up as a numeric mismatch in tests.
+"""
+
+from repro.interp.executor import ExecutionResult, execute_graph
+
+__all__ = ["ExecutionResult", "execute_graph"]

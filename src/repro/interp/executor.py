@@ -1,0 +1,144 @@
+"""Graph execution over NumPy arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.ir import Graph, Op, OpKind, Value
+from repro.mxfp.emulate import emulated_matmul
+from repro.mxfp.quantize import quantize_to
+
+
+_ELEMENTWISE = {
+    "add": lambda *xs: sum(xs[1:], xs[0]),
+    "sub": lambda a, b: a - b,
+    "mul": lambda *xs: np.prod(np.stack(xs), axis=0),
+    "div": lambda a, b: a / b,
+    "exp": lambda a: np.exp(a),
+    "neg": lambda a: -a,
+    "max": lambda a, b: np.maximum(a, b),
+    "copy": lambda a: a,
+    "relu": lambda a: np.maximum(a, 0.0),
+}
+
+_REDUCE = {
+    "sum": np.sum,
+    "max": np.max,
+    "min": np.min,
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Values produced by a graph run."""
+
+    stores: List[np.ndarray] = field(default_factory=list)
+    values: Dict[int, np.ndarray] = field(default_factory=dict)
+
+
+def execute_graph(
+    graph: Graph,
+    inputs: Sequence[np.ndarray],
+    quantize_inputs: bool = True,
+) -> ExecutionResult:
+    """Run a graph; ``inputs`` feed the LOAD ops in program order.
+
+    With ``quantize_inputs`` each input is rounded through its
+    declared dtype first, as loading from a low-precision buffer
+    would.
+    """
+    result = ExecutionResult()
+    env: Dict[int, np.ndarray] = {}
+    load_idx = 0
+
+    def get(value: Value) -> np.ndarray:
+        """Look up a computed SSA value."""
+        return env[value.vid]
+
+    for op in graph.ops:
+        kind = op.kind
+        if kind == OpKind.LOAD:
+            arr = np.asarray(inputs[load_idx], dtype=np.float64)
+            load_idx += 1
+            if tuple(arr.shape) != tuple(op.output.shape):
+                raise ValueError(
+                    f"input {load_idx - 1} has shape {arr.shape}, "
+                    f"expected {op.output.shape}"
+                )
+            if quantize_inputs:
+                arr = quantize_to(arr, op.output.dtype)
+            env[op.output.vid] = arr
+        elif kind == OpKind.STORE:
+            result.stores.append(get(op.inputs[0]))
+        elif kind == OpKind.CONVERT_LAYOUT:
+            env[op.output.vid] = get(op.inputs[0])
+        elif kind == OpKind.LOCAL_STORE or kind == OpKind.LOCAL_LOAD:
+            env[op.output.vid] = get(op.inputs[0])
+        elif kind == OpKind.ELEMENTWISE:
+            fn = _ELEMENTWISE[op.attrs.get("name", "add")]
+            env[op.output.vid] = fn(*[get(v) for v in op.inputs])
+        elif kind == OpKind.DOT:
+            a, b = op.inputs
+            out, _ = emulated_matmul(
+                get(a), get(b), a.dtype, b.dtype
+            )
+            env[op.output.vid] = out
+        elif kind == OpKind.REDUCE:
+            fn = _REDUCE[op.attrs.get("op", "sum")]
+            env[op.output.vid] = fn(
+                get(op.inputs[0]), axis=op.attrs["axis"]
+            )
+        elif kind == OpKind.SCAN:
+            axis = op.attrs["axis"]
+            data = get(op.inputs[0])
+            if op.attrs.get("reverse", False):
+                data = np.flip(data, axis=axis)
+            scan_op = op.attrs.get("op", "sum")
+            if scan_op == "sum":
+                scanned = np.cumsum(data, axis=axis)
+            elif scan_op == "max":
+                scanned = np.maximum.accumulate(data, axis=axis)
+            elif scan_op == "mul":
+                scanned = np.cumprod(data, axis=axis)
+            else:
+                raise ValueError(f"unknown scan op {scan_op!r}")
+            if op.attrs.get("reverse", False):
+                scanned = np.flip(scanned, axis=axis)
+            env[op.output.vid] = scanned
+        elif kind == OpKind.GATHER:
+            src, index = (get(v) for v in op.inputs)
+            env[op.output.vid] = np.take_along_axis(
+                src, index.astype(np.int64), axis=op.attrs["axis"]
+            )
+        elif kind == OpKind.TRANS:
+            env[op.output.vid] = np.transpose(
+                get(op.inputs[0]), op.attrs["perm"]
+            )
+        elif kind == OpKind.RESHAPE:
+            env[op.output.vid] = get(op.inputs[0]).reshape(
+                op.attrs["shape"]
+            )
+        elif kind == OpKind.EXPAND_DIMS:
+            env[op.output.vid] = np.expand_dims(
+                get(op.inputs[0]), op.attrs["axis"]
+            )
+        elif kind == OpKind.BROADCAST:
+            env[op.output.vid] = np.broadcast_to(
+                get(op.inputs[0]), op.attrs["shape"]
+            ).copy()
+        elif kind == OpKind.JOIN:
+            env[op.output.vid] = np.stack(
+                [get(v) for v in op.inputs], axis=-1
+            )
+        elif kind == OpKind.SPLIT:
+            env[op.output.vid] = get(op.inputs[0])[
+                ..., op.attrs["index"]
+            ]
+        else:  # pragma: no cover
+            raise ValueError(f"cannot interpret {kind}")
+        if op.output is not None:
+            result.values[op.output.vid] = env[op.output.vid]
+    return result

@@ -1,0 +1,138 @@
+"""Shared machinery for layout constructors.
+
+The two ``ensure_*`` functions implement the legacy tiling semantics
+(Section 5.1, Broadcasting): when a layout's initial tile is smaller
+than the tensor it is *replicated* to cover it (extra register bits
+enumerate the tile grid), and when it is larger the tensor is
+replicated to cover the tile (the excess bits become zero columns,
+i.e. broadcast).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.dims import REGISTER
+from repro.core.errors import DimensionError
+from repro.core.layout import LinearLayout
+from repro.f2.bitvec import log2_int
+
+
+def _canonicalize_out_order(layout: LinearLayout, rank: int) -> LinearLayout:
+    """Reorder the out dims of a freshly built product to dim0..dimN."""
+    want = [f"dim{i}" for i in range(rank)]
+    have = list(layout.out_dims)
+    if sorted(have) != sorted(want):
+        raise DimensionError(f"unexpected out dims {have}, want {want}")
+    if have == want:
+        return layout
+    return layout.transpose_outs(want)
+
+
+def ensure_layout_not_larger_than(
+    layout: LinearLayout, shape: Sequence[int]
+) -> LinearLayout:
+    """Shrink each out dim to ``shape`` by zeroing overflowing bases.
+
+    A basis image bit at position >= log2(shape[d]) indexes outside the
+    tensor; the legacy semantics replicate the tensor under the tile,
+    so that bit's image becomes zero (broadcast, a zero column of the
+    matrix).
+    """
+    names = list(layout.out_dims)
+    if len(names) != len(shape):
+        raise DimensionError(
+            f"rank mismatch: layout {names} vs shape {list(shape)}"
+        )
+    masks = []
+    shrink = False
+    for name, size in zip(names, shape):
+        log2_int(size)
+        if layout.out_dim_size(name) < size:
+            raise DimensionError(
+                f"layout dim {name!r} smaller than target {size}"
+            )
+        if layout.out_dim_size(name) > size:
+            shrink = True
+        masks.append(size - 1)
+    if not shrink:
+        return layout
+    bases = {}
+    for d in layout.in_dims:
+        images = []
+        for img in layout.bases[d]:
+            # Keep in-range bits; bits beyond the shape broadcast to 0.
+            # For distributed layouts images are single-bit so the
+            # image either survives whole or becomes zero.
+            images.append(tuple(c & m for c, m in zip(img, masks)))
+        bases[d] = images
+    outs = dict(zip(names, shape))
+    return LinearLayout(bases, outs, require_surjective=False)
+
+
+def ensure_layout_not_smaller_than(
+    layout: LinearLayout,
+    shape: Sequence[int],
+    order: Sequence[int],
+    in_dim: str = REGISTER,
+) -> LinearLayout:
+    """Grow each out dim to ``shape`` with fresh ``in_dim`` bits.
+
+    The tile is replicated across the tensor; the replication index
+    lives in new high bits of ``in_dim`` (usually registers),
+    enumerating tiles along ``order`` (fastest dim first).
+    """
+    names = list(layout.out_dims)
+    if len(names) != len(shape):
+        raise DimensionError(
+            f"rank mismatch: layout {names} vs shape {list(shape)}"
+        )
+    bases = layout.bases
+    outs = dict(layout.out_dim_sizes())
+    extra: List[tuple] = []
+    for dim_idx in order:
+        name = names[dim_idx]
+        target = shape[dim_idx]
+        log2_int(target)
+        current = outs[name]
+        if current > target:
+            raise DimensionError(
+                f"layout dim {name!r} larger than target {target}; "
+                "call ensure_layout_not_larger_than first"
+            )
+        while current < target:
+            img = [0] * len(names)
+            img[dim_idx] = current
+            extra.append(tuple(img))
+            current <<= 1
+        outs[name] = target
+    if extra:
+        bases[in_dim] = bases.get(in_dim, []) + extra
+    return LinearLayout(bases, outs, require_surjective=False)
+
+
+def tile_to_shape(
+    tile: LinearLayout,
+    shape: Sequence[int],
+    order: Sequence[int],
+    in_dim: str = REGISTER,
+) -> LinearLayout:
+    """Fit a tile layout onto a tensor shape (legacy tiling semantics).
+
+    First the tensor is replicated under an oversized tile (zero
+    columns), then an undersized tile is replicated across the tensor
+    (new register bits), enumerating tiles fastest-first per ``order``.
+    The result is canonicalized to out dims ``dim0..dimN`` and is
+    always surjective.
+    """
+    rank = len(shape)
+    layout = _canonicalize_out_order(tile, rank)
+    clipped = [
+        min(s, layout.out_dim_size(f"dim{i}")) for i, s in enumerate(shape)
+    ]
+    layout = ensure_layout_not_larger_than(layout, clipped)
+    layout = ensure_layout_not_smaller_than(layout, shape, order, in_dim)
+    result = LinearLayout(
+        layout.bases, layout.out_dim_sizes(), require_surjective=True
+    )
+    return result

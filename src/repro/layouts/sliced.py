@@ -1,0 +1,77 @@
+"""Sliced layouts (Proposition 4.8).
+
+A sliced layout is the result of removing one logical dimension from a
+parent distributed layout — the layout of a reduction's output or a
+broadcast's input.  Removing a dimension is a linear map, so the slice
+of a linear layout is linear; it stays surjective but typically stops
+being injective (the hardware bits that indexed the removed dimension
+become zero columns, i.e. duplicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import DimensionError
+from repro.core.layout import LinearLayout
+from repro.f2.bitvec import log2_int
+
+
+def slice_linear_layout(parent: LinearLayout, dim: int) -> LinearLayout:
+    """Remove output dim ``dim`` from a layout and renumber the rest.
+
+    This is the matrix-row removal of Proposition 4.8's remark: the
+    result may have zero columns but remains surjective.
+    """
+    names = list(parent.out_dims)
+    if not 0 <= dim < len(names):
+        raise DimensionError(f"dim {dim} out of range for rank {len(names)}")
+    removed = names[dim]
+    kept = [n for n in names if n != removed]
+    restricted = parent.sublayout(parent.in_dims, kept)
+    result = restricted
+    for i, old in enumerate(kept):
+        result = result.rename_out_dim(old, f"__tmp{i}")
+    for i in range(len(kept)):
+        result = result.rename_out_dim(f"__tmp{i}", f"dim{i}")
+    return LinearLayout(
+        result.bases, result.out_dim_sizes(), require_surjective=True
+    )
+
+
+@dataclass(frozen=True)
+class SlicedLayout:
+    """Descriptor: the slice of ``parent`` along logical dim ``dim``.
+
+    ``parent_dim_size`` records the extent of the removed dimension in
+    the parent tensor (needed to rebuild the parent layout from the
+    sliced shape).
+    """
+
+    parent: object  # any descriptor with .to_linear(shape)
+    dim: int
+    parent_dim_size: int
+
+    def __post_init__(self):
+        log2_int(self.parent_dim_size)
+        if self.dim < 0:
+            raise DimensionError(f"dim must be non-negative, got {self.dim}")
+
+    @property
+    def rank(self) -> int:
+        """Rank of the sliced (output) tensor: parent rank minus one."""
+        return self.parent.rank - 1
+
+    def parent_shape(self, shape: Sequence[int]) -> list:
+        """The parent tensor shape for a sliced tensor of ``shape``."""
+        shape = list(shape)
+        return shape[: self.dim] + [self.parent_dim_size] + shape[self.dim:]
+
+    def to_linear(self, shape: Sequence[int]) -> LinearLayout:
+        """Build the parent layout and remove the sliced dimension."""
+        parent_linear = self.parent.to_linear(self.parent_shape(shape))
+        return slice_linear_layout(parent_linear, self.dim)
+
+    def __str__(self) -> str:
+        return f"sliced(dim={self.dim}, parent={self.parent})"

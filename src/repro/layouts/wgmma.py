@@ -1,0 +1,126 @@
+"""NVIDIA Hopper ``wgmma`` layouts (Proposition 4.7).
+
+``wgmma.mma_async.m64nNk16`` is issued by a *warp group* of four
+warps.  The accumulator tile spans M=64 rows — each warp of the group
+owns a 16-row slab that internally follows the ``mma`` 16x8 pattern —
+and up to N=256 columns covered by registers.  The B operand is read
+directly from shared memory (it has no register layout), which is why
+template_attention speeds up less on GH200 than on RTX4090
+(Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.dims import LANE, REGISTER, WARP
+from repro.core.errors import DimensionError
+from repro.core.layout import LinearLayout
+from repro.f2.bitvec import log2_int
+from repro.layouts.common import tile_to_shape
+from repro.layouts.mma import mma_operand_tile, mma_output_tile
+
+
+@dataclass(frozen=True)
+class WgmmaLayout:
+    """Distributed layout of a ``wgmma`` accumulator (version 3).
+
+    ``warps_per_cta`` counts *all* warps; the first four along M form
+    the warp group.  ``instr_n`` is the N extent of one instruction
+    (8..256, power of two here).
+    """
+
+    warps_per_cta: Tuple[int, int]
+    instr_n: int = 16
+
+    def __post_init__(self):
+        for w in self.warps_per_cta:
+            log2_int(w)
+        log2_int(self.instr_n)
+        if self.warps_per_cta[0] % 4 != 0:
+            raise DimensionError(
+                "wgmma needs a multiple of 4 warps along M, got "
+                f"{self.warps_per_cta}"
+            )
+        if not 8 <= self.instr_n <= 256:
+            raise DimensionError(f"instr_n out of range: {self.instr_n}")
+
+    @property
+    def rank(self) -> int:
+        """wgmma layouts are two-dimensional."""
+        return 2
+
+    def num_warps(self) -> int:
+        """Total warps per CTA (the first four form the warp group)."""
+        return self.warps_per_cta[0] * self.warps_per_cta[1]
+
+    def instruction_tile(self) -> LinearLayout:
+        """The m64 x instr_n tile owned by one warp group."""
+        # Registers walk N beyond the base 8 columns.
+        tile = mma_output_tile()
+        for bit in range(3, log2_int(self.instr_n)):
+            tile = tile * LinearLayout.identity1d(2, REGISTER, "dim1")
+        # The four warps of the group stack along M (bits 4, 5 of dim0).
+        tile = tile * LinearLayout.identity1d(4, WARP, "dim0")
+        return tile
+
+    def to_linear(self, shape: Sequence[int]) -> LinearLayout:
+        """The full accumulator layout for a tensor of ``shape``."""
+        if len(shape) != 2:
+            raise DimensionError("wgmma layouts are two-dimensional")
+        tile = self.instruction_tile()
+        extra_m = self.warps_per_cta[0] // 4
+        tile = tile * LinearLayout.identity1d(extra_m, WARP, "dim0")
+        tile = tile * LinearLayout.identity1d(
+            self.warps_per_cta[1], WARP, "dim1"
+        )
+        return tile_to_shape(tile, shape, order=(1, 0))
+
+    def __str__(self) -> str:
+        return (
+            f"wgmma(version=3, warpsPerCTA={list(self.warps_per_cta)}, "
+            f"instrN={self.instr_n})"
+        )
+
+
+@dataclass(frozen=True)
+class WgmmaOperandLayout:
+    """Register layout of the A operand of ``wgmma`` (op_idx 0 only).
+
+    B is consumed straight from shared memory by the instruction, so
+    only A has a distributed register layout.  The per-warp fragment
+    matches the ``mma`` A fragment; the warp group stacks along M.
+    """
+
+    parent: WgmmaLayout
+    kwidth: int
+
+    def __post_init__(self):
+        log2_int(self.kwidth)
+
+    @property
+    def rank(self) -> int:
+        """Operand layouts are two-dimensional."""
+        return 2
+
+    def to_linear(self, shape: Sequence[int]) -> LinearLayout:
+        """The register layout of the A operand for ``shape``."""
+        if len(shape) != 2:
+            raise DimensionError("wgmma operand layouts are 2D")
+        tile = mma_operand_tile(0, self.kwidth)
+        tile = tile * LinearLayout.identity1d(4, WARP, "dim0")
+        extra_m = self.parent.warps_per_cta[0] // 4
+        tile = tile * LinearLayout.identity1d(extra_m, WARP, "dim0")
+        wn = self.parent.warps_per_cta[1]
+        if wn > 1:
+            dead = LinearLayout(
+                {WARP: [(0,)] * log2_int(wn)},
+                {"dim1": 1},
+                require_surjective=False,
+            )
+            tile = tile * dead
+        return tile_to_shape(tile, shape, order=(1, 0))
+
+    def __str__(self) -> str:
+        return f"wgmma_operand(kWidth={self.kwidth}, parent={self.parent})"

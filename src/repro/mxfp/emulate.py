@@ -1,0 +1,64 @@
+"""Upcast paths for software-emulated mixed-precision mma.
+
+On hardware without native MXFP4 tensor cores, Triton upcasts the
+low-precision operand to the other operand's precision before the
+``mma``/``wgmma`` (Section 5.2).  The numerics here mirror that: both
+operands are materialized in the *compute* precision, accumulate in
+f32/f64.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.mxfp.quantize import decode_mxfp4, encode_mxfp4, quantize_to
+from repro.mxfp.types import BF16, DType, F16, F32, F64, MXFP4
+
+
+def compute_precision(a: DType, b: DType) -> DType:
+    """The precision the emulated mma computes in: the wider operand's
+    float type (low precision is upcast, Section 5.2)."""
+    candidates = [t for t in (a, b) if t.is_float() and t != MXFP4]
+    if not candidates:
+        return F32
+    return max(candidates, key=lambda t: t.bits)
+
+
+def upcast_for_mma(
+    values: np.ndarray,
+    from_dtype: DType,
+    to_dtype: DType,
+    axis: int = -1,
+) -> np.ndarray:
+    """Upcast an operand through its storage format to compute format.
+
+    The value is first rounded to its storage grid (so quantization
+    error is faithfully present), then re-rounded into the compute
+    precision.  ``axis`` orients block formats: MXFP4 scale groups run
+    along the contraction axis (K), which is the last axis of an A
+    operand but axis 0 of a B operand.
+    """
+    moved = np.moveaxis(np.asarray(values, dtype=np.float64), axis, -1)
+    stored = quantize_to(moved, from_dtype)
+    upcast = quantize_to(stored, to_dtype)
+    return np.moveaxis(upcast, -1, axis)
+
+
+def emulated_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_dtype: DType,
+    b_dtype: DType,
+) -> Tuple[np.ndarray, DType]:
+    """A software-emulated mixed-precision matmul.
+
+    Returns the accumulator (f64 array) and the compute precision the
+    emulation used.  This is the reference the Table 5 pass/fail check
+    compares against.  K runs along A's last axis and B's first.
+    """
+    prec = compute_precision(a_dtype, b_dtype)
+    a_up = upcast_for_mma(a, a_dtype, prec, axis=-1)
+    b_up = upcast_for_mma(b, b_dtype, prec, axis=0)
+    return a_up @ b_up, prec

@@ -1,0 +1,68 @@
+"""The dtype registry used across the engine and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DType:
+    """A tensor element type.
+
+    ``bits`` is the storage width per element (MXFP4 reports 4; its
+    shared scale byte is accounted separately).  ``kind`` is one of
+    ``float``, ``int``, or ``mxfp``.
+    """
+
+    name: str
+    bits: int
+    kind: str
+
+    @property
+    def bytes(self) -> int:
+        """Storage bytes per element (floored at 1 for sub-byte types)."""
+        return max(1, self.bits // 8)
+
+    def is_float(self) -> bool:
+        """True for floating-point and block-float (mxfp) types."""
+        return self.kind in ("float", "mxfp")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+F8E4M3 = DType("f8e4m3", 8, "float")
+F8E5M2 = DType("f8e5m2", 8, "float")
+F16 = DType("f16", 16, "float")
+BF16 = DType("bf16", 16, "float")
+F32 = DType("f32", 32, "float")
+F64 = DType("f64", 64, "float")
+I8 = DType("i8", 8, "int")
+I16 = DType("i16", 16, "int")
+I32 = DType("i32", 32, "int")
+I64 = DType("i64", 64, "int")
+MXFP4 = DType("mxfp4", 4, "mxfp")
+
+_REGISTRY: Dict[str, DType] = {
+    t.name: t
+    for t in (
+        F8E4M3, F8E5M2, F16, BF16, F32, F64, I8, I16, I32, I64, MXFP4,
+    )
+}
+_REGISTRY["f8"] = F8E5M2  # the paper's shorthand
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a dtype by its registry name (``f8`` aliases e5m2)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def mma_kwidth(dtype: DType) -> int:
+    """Consecutive K elements per lane in an mma fragment: 32/bits."""
+    return max(1, 32 // dtype.bits)

@@ -1,0 +1,36 @@
+"""Tests for the layout autotuner (the Section 8 future-work loop)."""
+
+import pytest
+
+from repro.engine.autotune import TuningConfig, autotune
+from repro.hardware import GH200, RTX4090
+from repro.kernels.models import build_gemm, build_softmax
+
+
+class TestAutotune:
+    def test_finds_a_configuration(self):
+        result = autotune(build_gemm, {"m": 64, "n": 64, "k": 64},
+                          spec=RTX4090)
+        assert result.best.num_warps in (1, 2, 4, 8)
+        assert result.best_cycles > 0
+        assert len(result.trials) == 4
+
+    def test_best_is_minimum(self):
+        result = autotune(build_softmax, {"rows": 128, "cols": 128})
+        valid = [c for _, c in result.trials if c is not None]
+        assert result.best_cycles == min(valid)
+
+    def test_speedup_over_worst(self):
+        result = autotune(build_gemm, {"m": 64, "n": 64, "k": 64},
+                          spec=GH200)
+        assert result.speedup_over_worst() >= 1.0
+
+    def test_failures_are_recorded(self):
+        def broken(**kwargs):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            autotune(broken)
+
+    def test_config_repr(self):
+        assert "num_warps=4" in str(TuningConfig(4))

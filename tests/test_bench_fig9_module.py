@@ -1,0 +1,52 @@
+"""Tests for the Figure 9 harness module itself."""
+
+import pytest
+
+from repro.bench.fig9 import (
+    compile_case,
+    run_fig9,
+    run_table2,
+    summarize_by_platform,
+)
+from repro.bench.harness import Table
+from repro.kernels import KERNELS
+
+
+class TestTable2:
+    def test_three_platforms(self):
+        table = run_table2()
+        assert len(table.rows) == 3
+        platforms = table.column("platform")
+        assert set(platforms) == {"RTX4090", "GH200", "MI250"}
+
+    def test_mi250_has_no_matrix_insts(self):
+        table = run_table2()
+        row = next(r for r in table.rows if r[0] == "MI250")
+        assert row[4] == "no" and row[5] == "no"
+
+
+class TestFig9Harness:
+    def test_subset_run(self):
+        fig, tab6, speedups = run_fig9(kernels=["vector_add", "sum"])
+        assert speedups
+        assert all(s > 0 for s in speedups)
+        # vector_add has no local memory or converts: only sum shows
+        # up in the table 6 rows, if at all.
+        names = [r[0] for r in tab6.rows]
+        assert "vector_add" not in names
+
+    def test_compile_case(self):
+        model = KERNELS["sum"]
+        compiled = compile_case(
+            model, model.cases[0], "RTX4090", "linear"
+        )
+        assert compiled.ok
+
+    def test_summary(self):
+        fig, _, _ = run_fig9(kernels=["sum"])
+        summary = summarize_by_platform(fig)
+        assert summary.column("platform")
+        for row in summary.rows:
+            _, cases, mn, geo, mx = row
+            assert cases > 0
+            assert mn <= geo <= mx

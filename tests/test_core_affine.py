@@ -1,0 +1,64 @@
+"""Tests for affine layouts (the Section 8 extension)."""
+
+import pytest
+
+from repro.core import AffineLayout, DimensionError, LinearLayout, REGISTER
+from repro.core.affine import slice_offset_layout
+
+
+def base_layout():
+    return LinearLayout.identity1d(8, REGISTER, "dim0")
+
+
+class TestAffine:
+    def test_zero_offset_is_linear(self):
+        affine = AffineLayout.from_linear(base_layout())
+        assert affine.is_linear()
+        assert affine.apply({REGISTER: 5}) == {"dim0": 5}
+
+    def test_flip_reverses(self):
+        flipped = AffineLayout.from_linear(base_layout()).flip("dim0")
+        values = [flipped.apply({REGISTER: r})["dim0"] for r in range(8)]
+        assert values == [7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_flip_involution(self):
+        affine = AffineLayout.from_linear(base_layout())
+        assert affine.flip("dim0").flip("dim0") == affine
+
+    def test_translate(self):
+        shifted = AffineLayout.from_linear(base_layout()).translate(
+            "dim0", 4
+        )
+        assert shifted.apply({REGISTER: 0})["dim0"] == 4
+        assert shifted.apply({REGISTER: 4})["dim0"] == 0
+
+    def test_translate_range_check(self):
+        with pytest.raises(DimensionError):
+            AffineLayout.from_linear(base_layout()).translate("dim0", 8)
+
+    def test_offset_validation(self):
+        with pytest.raises(DimensionError):
+            AffineLayout(base_layout(), {"dim0": 9})
+        with pytest.raises(DimensionError):
+            AffineLayout(base_layout(), {"nope": 1})
+
+    def test_compose_pushes_offset(self):
+        """(A2 o A1)(x) == A2(A1(x)) pointwise."""
+        inner = AffineLayout(
+            LinearLayout.identity1d(8, REGISTER, "mid"), {"mid": 3}
+        )
+        outer = AffineLayout(
+            LinearLayout.identity1d(8, "mid", "dim0"), {"dim0": 5}
+        )
+        composed = outer.compose(inner)
+        for r in range(8):
+            step = outer.apply(inner.apply({REGISTER: r}))
+            assert composed.apply({REGISTER: r}) == step
+
+    def test_aligned_slice(self):
+        sliced = slice_offset_layout(base_layout(), "dim0", 4, 4)
+        assert sliced.apply({REGISTER: 0})["dim0"] == 4
+
+    def test_unaligned_slice_rejected(self):
+        with pytest.raises(DimensionError):
+            slice_offset_layout(base_layout(), "dim0", 2, 4)

@@ -1,0 +1,131 @@
+"""Unit tests for F2 matrices (repro.f2.matrix)."""
+
+import pytest
+
+from repro.f2 import F2Matrix
+from repro.f2.bitvec import bits_of
+
+
+class TestConstruction:
+    def test_identity(self):
+        m = F2Matrix.identity(4)
+        assert m.shape == (4, 4)
+        assert m.is_identity()
+
+    def test_zeros(self):
+        m = F2Matrix.zeros(3, 5)
+        assert m.shape == (3, 5)
+        assert m.is_zero()
+
+    def test_from_rows_round_trip(self):
+        rows = [[1, 0, 1], [0, 1, 1]]
+        m = F2Matrix.from_rows(rows)
+        assert m.to_rows() == rows
+
+    def test_from_rows_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            F2Matrix.from_rows([[2, 0]])
+
+    def test_from_rows_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            F2Matrix.from_rows([[1, 0], [1]])
+
+    def test_column_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            F2Matrix(2, [4])
+
+    def test_entry_access(self):
+        m = F2Matrix.from_rows([[1, 0], [1, 1]])
+        assert m.entry(0, 0) == 1
+        assert m.entry(0, 1) == 0
+        assert m.entry(1, 1) == 1
+
+    def test_row_out_of_range(self):
+        m = F2Matrix.identity(2)
+        with pytest.raises(IndexError):
+            m.entry(2, 0)
+
+
+class TestAlgebra:
+    def test_matvec_is_column_xor(self):
+        m = F2Matrix(3, [0b001, 0b010, 0b100])
+        assert m.matvec(0b101) == 0b101
+        assert m.matvec(0b111) == 0b111
+        assert m.matvec(0) == 0
+
+    def test_matvec_range_check(self):
+        m = F2Matrix.identity(2)
+        with pytest.raises(ValueError):
+            m.matvec(4)
+
+    def test_matmul_identity(self):
+        m = F2Matrix(3, [0b011, 0b101, 0b110])
+        assert m @ F2Matrix.identity(3) == m
+        assert F2Matrix.identity(3) @ m == m
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            F2Matrix.identity(2) @ F2Matrix.identity(3)
+
+    def test_matmul_associative(self):
+        a = F2Matrix(2, [0b01, 0b11])
+        b = F2Matrix(2, [0b10, 0b01])
+        c = F2Matrix(2, [0b11, 0b10])
+        assert (a @ b) @ c == a @ (b @ c)
+
+    def test_addition_is_xor(self):
+        a = F2Matrix(2, [0b01, 0b11])
+        assert (a + a).is_zero()
+
+    def test_transpose_involution(self):
+        m = F2Matrix.from_rows([[1, 0, 1], [1, 1, 0]])
+        assert m.transpose().transpose() == m
+        assert m.transpose().shape == (3, 2)
+
+    def test_transpose_entries(self):
+        m = F2Matrix.from_rows([[1, 0], [1, 1], [0, 1]])
+        t = m.transpose()
+        for i in range(3):
+            for j in range(2):
+                assert m.entry(i, j) == t.entry(j, i)
+
+    def test_direct_sum_block_structure(self):
+        a = F2Matrix.identity(2)
+        b = F2Matrix(1, [1])
+        s = a.direct_sum(b)
+        assert s.shape == (3, 3)
+        assert s.is_identity()
+
+    def test_direct_sum_off_diagonal_zero(self):
+        a = F2Matrix(2, [0b11, 0b01])
+        b = F2Matrix(2, [0b10, 0b11])
+        s = a.direct_sum(b)
+        assert s.submatrix((0, 2), (0, 2)) == a
+        assert s.submatrix((2, 4), (2, 4)) == b
+        assert s.submatrix((0, 2), (2, 4)).is_zero()
+        assert s.submatrix((2, 4), (0, 2)).is_zero()
+
+    def test_hstack_vstack(self):
+        a = F2Matrix.identity(2)
+        h = a.hstack(a)
+        assert h.shape == (2, 4)
+        v = a.vstack(a)
+        assert v.shape == (4, 2)
+        assert v.column(0) == 0b0101
+
+    def test_permutation_detection(self):
+        assert F2Matrix(2, [0b10, 0b01]).is_permutation()
+        assert not F2Matrix(2, [0b10, 0b10]).is_permutation()
+        assert not F2Matrix(2, [0b11, 0b01]).is_permutation()
+        assert not F2Matrix(2, [0b00, 0b01]).is_permutation()
+
+    def test_select_columns(self):
+        m = F2Matrix(2, [0b01, 0b10, 0b11])
+        sel = m.select_columns([2, 0])
+        assert sel.columns == (0b11, 0b01)
+
+    def test_hash_eq_consistency(self):
+        a = F2Matrix(2, [1, 2])
+        b = F2Matrix(2, [1, 2])
+        assert a == b and hash(a) == hash(b)
+        assert a != F2Matrix(2, [2, 1])

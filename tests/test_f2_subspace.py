@@ -1,0 +1,160 @@
+"""Unit and property tests for subspace algebra (repro.f2.subspace)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.f2 import (
+    Subspace,
+    complement_basis,
+    extend_to_basis,
+    intersect,
+    is_independent,
+    reduce_to_basis,
+)
+
+vectors = st.lists(st.integers(0, 255), min_size=0, max_size=6)
+
+
+class TestReduceToBasis:
+    def test_removes_dependent(self):
+        assert reduce_to_basis([1, 2, 3]) == [1, 2]
+
+    def test_keeps_original_vectors(self):
+        basis = reduce_to_basis([6, 5, 3])
+        assert basis[0] == 6 and basis[1] == 5
+
+    def test_drops_zero(self):
+        assert reduce_to_basis([0, 1]) == [1]
+
+    @given(vectors)
+    @settings(max_examples=100)
+    def test_result_independent(self, vs):
+        assert is_independent(reduce_to_basis(vs))
+
+    @given(vectors)
+    @settings(max_examples=100)
+    def test_same_span(self, vs):
+        basis = reduce_to_basis(vs)
+        s1 = Subspace(8, vs)
+        s2 = Subspace(8, basis)
+        assert s1 == s2
+
+
+class TestSubspace:
+    def test_contains(self):
+        s = Subspace(4, [0b0011, 0b0101])
+        assert s.contains(0b0110)
+        assert s.contains(0)
+        assert not s.contains(0b1000)
+
+    def test_enumerate(self):
+        s = Subspace(3, [0b011, 0b101])
+        elems = sorted(s.enumerate())
+        assert elems == [0b000, 0b011, 0b101, 0b110]
+
+    def test_enumerate_too_large(self):
+        s = Subspace.full(24)
+        with pytest.raises(ValueError):
+            s.enumerate()
+
+    def test_full_and_trivial(self):
+        assert Subspace.full(5).rank == 5
+        assert Subspace.trivial(5).rank == 0
+        assert len(Subspace.full(3)) == 8
+
+    def test_vector_out_of_ambient(self):
+        with pytest.raises(ValueError):
+            Subspace(2, [4])
+
+    def test_ambient_mismatch(self):
+        with pytest.raises(ValueError):
+            Subspace(2, [1]).sum(Subspace(3, [1]))
+
+    def test_sum(self):
+        a = Subspace(4, [0b0001])
+        b = Subspace(4, [0b0010])
+        assert a.sum(b).rank == 2
+
+    def test_paper_figure4_span(self):
+        """The span(G) computation from Figure 4's worked example."""
+        g = Subspace(3, [0b110, 0b011])
+        elems = sorted(g.enumerate())
+        assert elems == [0b000, 0b011, 0b101, 0b110]
+
+
+class TestIntersection:
+    def test_disjoint(self):
+        a = Subspace(4, [0b0001, 0b0010])
+        b = Subspace(4, [0b0100, 0b1000])
+        assert a.intersect(b).rank == 0
+        assert a.trivial_intersection(b)
+
+    def test_overlap(self):
+        a = Subspace(4, [0b0001, 0b0010])
+        b = Subspace(4, [0b0010, 0b0100])
+        inter = a.intersect(b)
+        assert inter.rank == 1
+        assert inter.contains(0b0010)
+
+    def test_nontrivial_combination(self):
+        # span{0011, 0100} and span{0111, 1000} share 0111 = 0011^0100.
+        a = Subspace(4, [0b0011, 0b0100])
+        b = Subspace(4, [0b0111, 0b1000])
+        inter = a.intersect(b)
+        assert inter.rank == 1
+        assert inter.contains(0b0111)
+
+    @given(vectors, vectors)
+    @settings(max_examples=100)
+    def test_intersection_contained_in_both(self, va, vb):
+        a = Subspace(8, va)
+        b = Subspace(8, vb)
+        inter = a.intersect(b)
+        for v in inter.basis:
+            assert a.contains(v)
+            assert b.contains(v)
+
+    @given(vectors, vectors)
+    @settings(max_examples=100)
+    def test_dimension_formula(self, va, vb):
+        a = Subspace(8, va)
+        b = Subspace(8, vb)
+        assert (
+            a.sum(b).rank + a.intersect(b).rank == a.rank + b.rank
+        )
+
+    def test_intersect_helper(self):
+        basis = intersect(4, [0b0001, 0b0010], [0b0010, 0b1000])
+        assert basis == [0b0010]
+
+
+class TestComplementExtend:
+    @given(vectors)
+    @settings(max_examples=100)
+    def test_complement_properties(self, vs):
+        s = Subspace(8, vs)
+        c = s.complement()
+        assert s.sum(c).rank == 8
+        assert s.intersect(c).rank == 0
+
+    def test_extend_to_basis(self):
+        added = extend_to_basis(3, [0b011])
+        assert is_independent([0b011] + added)
+        assert len(added) == 2
+
+    def test_extend_rejects_dependent_partial(self):
+        with pytest.raises(ValueError):
+            extend_to_basis(3, [0b011, 0b011])
+
+    def test_extend_with_candidates(self):
+        added = extend_to_basis(2, [0b01], candidates=[0b01, 0b11])
+        assert added == [0b11]
+
+    def test_extend_candidates_insufficient(self):
+        with pytest.raises(ValueError):
+            extend_to_basis(3, [0b001], candidates=[0b001])
+
+    def test_complement_basis_helper(self):
+        comp = complement_basis(4, [0b0011, 0b0101])
+        assert len(comp) == 2
+        assert is_independent([0b0011, 0b0101] + comp)

@@ -1,0 +1,49 @@
+"""Tests for 4-bit packing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mxfp import (
+    decode_fp4_e2m1,
+    encode_mxfp4,
+    pack_nibbles,
+    unpack_nibbles,
+)
+
+
+class TestNibblePacking:
+    def test_layout(self):
+        codes = np.array([[0x1, 0x2, 0x3, 0x4]], dtype=np.uint8)
+        packed = pack_nibbles(codes)
+        assert packed.tolist() == [[0x21, 0x43]]
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_nibbles(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_high_bits_masked(self):
+        codes = np.array([[0xFF, 0xF0]], dtype=np.uint8)
+        packed = pack_nibbles(codes)
+        assert packed.tolist() == [[0x0F]]
+
+    @given(hnp.arrays(np.uint8, (4, 8),
+                      elements=st.integers(0, 15)))
+    @settings(max_examples=50)
+    def test_round_trip(self, codes):
+        assert np.array_equal(
+            unpack_nibbles(pack_nibbles(codes)), codes
+        )
+
+    def test_mxfp4_storage_pipeline(self):
+        """encode -> pack -> unpack -> decode reproduces the grid."""
+        rng = np.random.default_rng(6)
+        values = rng.standard_normal((4, 64))
+        tensor = encode_mxfp4(values)
+        packed = pack_nibbles(tensor.codes)
+        assert packed.nbytes == tensor.codes.nbytes // 2
+        restored = unpack_nibbles(packed)
+        assert np.array_equal(
+            decode_fp4_e2m1(restored), decode_fp4_e2m1(tensor.codes)
+        )

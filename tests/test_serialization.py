@@ -1,0 +1,55 @@
+"""Layout serialization tests (to_dict / from_dict / JSON)."""
+
+import json
+
+import pytest
+
+from repro.core import LinearLayout, REGISTER
+from repro.layouts import (
+    AmdMfmaLayout,
+    BlockedLayout,
+    MmaOperandLayout,
+    NvidiaMmaLayout,
+    SlicedLayout,
+    SwizzledSharedLayout,
+    WgmmaLayout,
+)
+
+
+ALL_LAYOUTS = [
+    BlockedLayout((1, 2), (4, 8), (2, 2), (1, 0)).to_linear((16, 32)),
+    NvidiaMmaLayout((2, 2)).to_linear((32, 64)),
+    MmaOperandLayout(NvidiaMmaLayout((2, 2)), 0, 2).to_linear((32, 64)),
+    WgmmaLayout((4, 1), instr_n=32).to_linear((64, 64)),
+    AmdMfmaLayout((2, 2)).to_linear((64, 64)),
+    SlicedLayout(
+        BlockedLayout((1, 2), (4, 8), (2, 2), (1, 0)), 1, 32
+    ).to_linear((16,)),
+    SwizzledSharedLayout(2, 1, 4).to_linear((16, 16)),
+]
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS, ids=lambda l: repr(l)[:40])
+def test_round_trip(layout):
+    rebuilt = LinearLayout.from_dict(layout.to_dict())
+    assert rebuilt == layout
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS[:4], ids=lambda l: repr(l)[:40])
+def test_json_round_trip(layout):
+    text = json.dumps(layout.to_dict())
+    rebuilt = LinearLayout.from_dict(json.loads(text))
+    assert rebuilt == layout
+    # Behaviour, not just structure, survives.
+    assert rebuilt.apply({REGISTER: 1}) == layout.apply({REGISTER: 1})
+
+
+def test_dict_is_stable_structure():
+    layout = ALL_LAYOUTS[0]
+    data = layout.to_dict()
+    assert set(data) == {"bases", "out_dims"}
+    assert all(
+        isinstance(img, list)
+        for images in data["bases"].values()
+        for img in images
+    )
