@@ -6,6 +6,7 @@ The most-used entry points are re-exported here; see the package
 README for a tour and ``docs/THEORY.md`` for the paper-to-code map.
 """
 
+from repro import cache
 from repro.core import (
     AffineLayout,
     BLOCK,
@@ -55,6 +56,7 @@ __all__ = [
     "SwizzledSharedLayout",
     "WARP",
     "WgmmaLayout",
+    "cache",
     "classify_conversion",
     "distributed_data",
     "make_identity",

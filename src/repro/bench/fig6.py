@@ -15,7 +15,7 @@ narrow un-shuffled loads are what stall wgmma issue in the baseline.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.bench.harness import Table
 from repro.hardware.spec import GH200, GpuSpec

@@ -13,12 +13,11 @@ from typing import List, Tuple
 
 from repro.bench.harness import Table
 from repro.codegen.gather import plan_gather
-from repro.core.dims import LANE, REGISTER, WARP
+from repro.core.dims import REGISTER
 from repro.core.layout import LinearLayout
 from repro.hardware.spec import GH200, GpuSpec
 from repro.layouts.blocked import BlockedLayout
 from repro.mxfp.types import F16, F32, DType
-from repro.f2.bitvec import log2_int
 
 
 def gather_layout(rows: int, axis_size: int) -> LinearLayout:

@@ -17,7 +17,7 @@ from repro.bench.harness import Table
 from repro.engine import KernelBuilder, LayoutEngine
 from repro.hardware.spec import GH200, RTX4090
 from repro.interp import execute_graph
-from repro.mxfp import F16, F32, F8E5M2, I8
+from repro.mxfp import F32, F8E5M2, I8
 
 
 def _compiles(kb: KernelBuilder, spec, mode: str) -> bool:
@@ -26,7 +26,6 @@ def _compiles(kb: KernelBuilder, spec, mode: str) -> bool:
 
 def _case_reduce_over_operand() -> Tuple[str, bool, bool]:
     """Reductions over MMA-input layouts (Table 4's 0/10 rows)."""
-    from repro.core.errors import LegacyUnsupportedError
     from repro.layouts import MmaOperandLayout, NvidiaMmaLayout
     from repro.layouts.legacy import LegacyLayoutSystem
 

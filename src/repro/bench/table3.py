@@ -9,7 +9,7 @@ to anchor on the vectorization-maximizing layout.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.bench.harness import Table
 from repro.codegen.vectorize import (

@@ -9,15 +9,14 @@ without duplicate elimination (Section 5.1, Broadcasting).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.bench.harness import Table
 from repro.codegen.broadcast import (
     reduction_load_count,
     reduction_store_count,
 )
-from repro.core.dims import LANE, REGISTER, WARP
-from repro.core.errors import LegacyUnsupportedError
+from repro.core.dims import LANE, REGISTER
 from repro.core.layout import LinearLayout
 from repro.layouts.blocked import BlockedLayout
 from repro.layouts.legacy import LegacyLayoutSystem

@@ -19,9 +19,7 @@ from repro.hardware.spec import GH200
 from repro.interp import execute_graph
 from repro.layouts.legacy import LegacyLayoutSystem
 from repro.mxfp.emulate import emulated_matmul
-from repro.mxfp.types import (
-    DType, F16, F32, F64, F8E5M2, I16, I32, I64, I8, dtype_by_name,
-)
+from repro.mxfp.types import DType, dtype_by_name
 
 #: The pairs of Table 5 (int x float).
 DTYPE_PAIRS = [

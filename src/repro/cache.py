@@ -1,0 +1,259 @@
+"""Layout interning and compilation caching.
+
+A production deployment of the layout engine (the ROADMAP's serving
+scenario) issues the same small set of layouts and conversions over
+and over; Triton's C++ implementation and CuTe's layout algebra both
+hash-cons layouts so composition, division, and conversion planning
+are amortized.  This module is the Python equivalent: a handful of
+named, bounded, LRU caches with shared statistics, plus the interning
+registry that makes structurally equal :class:`LinearLayout` objects
+the same object.
+
+Caches
+------
+``layouts``
+    The interning registry: canonical-bases key -> representative
+    layout instance (see :meth:`LinearLayout.intern`).
+``derivations``
+    Expensive F2 derivations keyed on canonical layout keys:
+    surjectivity rank, matrix views, inverses, left division, free
+    variable masks.
+``plans``
+    Fully lowered :class:`ConversionPlan` objects keyed on
+    ``(src, dst, hardware spec, planner options)`` — the PlanCache of
+    the serving hot path.
+``engine``
+    :class:`LayoutEngine` anchors and priced conversions keyed on the
+    engine configuration ``(spec, mode, num_warps)``.
+
+Every cached value is immutable or treated as immutable by all
+callers; plans and layouts are shared across compilations.
+
+Off-switch
+----------
+Set the environment variable ``REPRO_CACHE=0`` (or call
+:func:`set_enabled` / use the :func:`disabled` context manager) to
+bypass every cache for debugging.  Results must be bit-identical
+either way; ``tests/test_cache.py`` holds that line.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterator, List
+
+__all__ = [
+    "BoundedCache",
+    "CacheStats",
+    "cached",
+    "clear",
+    "disabled",
+    "enabled",
+    "intern_layout",
+    "set_enabled",
+    "stats",
+]
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one named cache."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot."""
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class BoundedCache:
+    """A bounded LRU mapping with statistics.
+
+    Entries are evicted least-recently-used first once ``maxsize`` is
+    exceeded, so a long-running service cannot grow without bound.
+    Lookups and insertions take the cache lock; factory callables run
+    *outside* the lock (cached computations recurse into other
+    caches), so two racing threads may compute the same value — the
+    first insertion wins and both see a consistent object thereafter.
+    """
+
+    def __init__(self, name: str, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self._data: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        _REGISTRY.append(self)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value, recording a hit or miss."""
+        with self._lock:
+            value = self._data.pop(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data[key] = value  # re-insert: most recently used
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Insert a value; an earlier racing insertion wins."""
+        with self._lock:
+            existing = self._data.get(key, _MISSING)
+            if existing is not _MISSING:
+                return existing
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.pop(next(iter(self._data)))
+                self._evictions += 1
+            return value
+
+    def get_or_create(
+        self, key: Hashable, factory: Callable[[], Any]
+    ) -> Any:
+        """The cached value, computing and inserting it on a miss."""
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        return self.put(key, factory())
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are reset too)."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        """A point-in-time statistics snapshot."""
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+
+# ----------------------------------------------------------------------
+# Global cache instances
+# ----------------------------------------------------------------------
+_REGISTRY: List[BoundedCache] = []
+
+#: Interning registry: canonical layout key -> representative object.
+layouts = BoundedCache("layouts", maxsize=8192)
+#: Memoized F2 derivations (rank, matrix, inverse, division, masks).
+derivations = BoundedCache("derivations", maxsize=16384)
+#: The PlanCache: (src, dst, spec, options) -> ConversionPlan.
+plans = BoundedCache("plans", maxsize=2048)
+#: LayoutEngine anchors and priced conversions.
+engine = BoundedCache("engine", maxsize=4096)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+_enabled = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether caching is currently active."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Turn every cache on or off; returns the previous setting.
+
+    Disabling does not drop existing entries — call :func:`clear` for
+    that — it only bypasses lookups and insertions.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """A context in which every cache is bypassed."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def cached(
+    cache: BoundedCache, key: Hashable, factory: Callable[[], Any]
+) -> Any:
+    """``factory()`` memoized in ``cache`` under ``key``.
+
+    The single gate every caching call site goes through: when the
+    off-switch is thrown this degrades to a plain call.
+    """
+    if not _enabled:
+        return factory()
+    return cache.get_or_create(key, factory)
+
+
+def intern_layout(layout: Any) -> Any:
+    """The canonical representative of a structurally equal layout.
+
+    Keyed on :meth:`LinearLayout.canonical_key`, so two layouts with
+    identical bases and output dims intern to the *same object* and
+    downstream identity checks (``is``, dict keys) collapse.
+    """
+    if not _enabled:
+        return layout
+    return layouts.get_or_create(layout.canonical_key(), lambda: layout)
+
+
+def clear() -> None:
+    """Empty every registered cache (the explicit invalidation hook)."""
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+def stats() -> Dict[str, CacheStats]:
+    """Statistics for every registered cache, by name."""
+    return {cache.name: cache.stats() for cache in _REGISTRY}

@@ -10,7 +10,6 @@ empirically; tests assert they agree.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.core.dims import LANE
 from repro.core.layout import LinearLayout

@@ -9,7 +9,7 @@ duplicate elimination.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.layout import LinearLayout

@@ -16,8 +16,9 @@ and destination distributed layouts it picks, in order of preference,
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro import cache as _cache
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.errors import LayoutError
 from repro.core.layout import LinearLayout
@@ -27,7 +28,6 @@ from repro.codegen.plan import (
     RegisterPermute,
     SharedLoad,
     SharedStore,
-    ShuffleRound,
 )
 from repro.codegen.shuffles import ShufflePlanError, plan_warp_shuffle
 from repro.codegen.swizzle import SwizzlePlan, optimal_swizzled_layout
@@ -212,7 +212,53 @@ def plan_conversion(
     instead of letting the planner choose — the situation where
     hardware dictates the shared layout, e.g. a tile another consumer
     (wgmma) must read with a specific swizzle.
+
+    Plans are memoized in :data:`repro.cache.plans` keyed on the
+    canonical layout keys, the hardware spec, and every planner
+    option; callers must treat the returned plan as immutable (its
+    steps already are).  ``repro.cache.clear()`` invalidates;
+    ``REPRO_CACHE=0`` bypasses.
     """
+    key = (
+        "plan_conversion",
+        src.canonical_key(),
+        dst.canonical_key(),
+        elem_bits,
+        spec,
+        allow_shuffle,
+        swizzle_mode,
+        pad_elems,
+        dedupe_broadcast,
+        None if memory_layout is None else memory_layout.canonical_key(),
+    )
+    return _cache.cached(
+        _cache.plans,
+        key,
+        lambda: _plan_conversion_uncached(
+            src,
+            dst,
+            elem_bits,
+            spec,
+            allow_shuffle,
+            swizzle_mode,
+            pad_elems,
+            dedupe_broadcast,
+            memory_layout,
+        ),
+    )
+
+
+def _plan_conversion_uncached(
+    src: LinearLayout,
+    dst: LinearLayout,
+    elem_bits: int,
+    spec: GpuSpec,
+    allow_shuffle: bool,
+    swizzle_mode: str,
+    pad_elems: Optional[int],
+    dedupe_broadcast: bool,
+    memory_layout: Optional[LinearLayout],
+) -> ConversionPlan:
     from repro.layouts.cta import same_block_component, strip_block
 
     if not same_block_component(src, dst):

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.core.dims import LANE, OFFSET, REGISTER
+from repro import cache as _cache
+from repro.core.dims import REGISTER
 from repro.core.layout import LinearLayout
 from repro.core.ops import divide_left
 from repro.codegen.plan import RegisterPermute
@@ -108,8 +109,27 @@ def ldmatrix_applicable(
     tile: LinearLayout,
 ) -> bool:
     """Whether ldmatrix/stmatrix can service this register<->memory map,
-    directly or after a register permutation."""
-    reg_off = register_offset_map(dist_layout, memory_layout)
-    if match_instruction_tile(reg_off, tile):
-        return True
-    return permute_registers_for_tile(reg_off, tile) is not None
+    directly or after a register permutation.
+
+    Memoized on the canonical keys of all three layouts: the planner
+    probes this for every candidate staging layout of every
+    conversion, and the composition + division behind it are the
+    expensive F2 steps.
+    """
+
+    def compute() -> bool:
+        reg_off = register_offset_map(dist_layout, memory_layout)
+        if match_instruction_tile(reg_off, tile):
+            return True
+        return permute_registers_for_tile(reg_off, tile) is not None
+
+    return _cache.cached(
+        _cache.derivations,
+        (
+            "ldmatrix_applicable",
+            dist_layout.canonical_key(),
+            memory_layout.canonical_key(),
+            tile.canonical_key(),
+        ),
+        compute,
+    )

@@ -14,12 +14,9 @@ and lane choices when it executes with concrete index values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.layout import LinearLayout
-from repro.codegen.views import DistributedView
-from repro.f2.bitvec import popcount
 
 
 class GatherPlanError(ValueError):

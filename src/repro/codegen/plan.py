@@ -10,7 +10,7 @@ conversion to PTX by this stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.core.layout import LinearLayout
 

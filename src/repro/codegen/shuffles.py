@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro import cache as _cache
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.layout import LinearLayout
 from repro.codegen.plan import ShuffleRound
@@ -128,7 +129,41 @@ def plan_warp_shuffle(
     destination's broadcast register replicas.  Raises
     :class:`ShufflePlanError` when the preconditions of Section 5.4 do
     not hold; the caller then falls back to the shared memory path.
+
+    Both outcomes — the step list and the planner rejection — are
+    memoized on the canonical layout keys, so a hot conversion pays
+    the coset enumeration once.
     """
+    key = (
+        "warp_shuffle",
+        src_layout.canonical_key(),
+        dst_layout.canonical_key(),
+        elem_bits,
+        shuffle_bits,
+    )
+
+    def compute() -> Tuple[str, object]:
+        try:
+            return "ok", tuple(
+                _plan_warp_shuffle(
+                    src_layout, dst_layout, elem_bits, shuffle_bits
+                )
+            )
+        except ShufflePlanError as exc:
+            return "err", str(exc)
+
+    status, payload = _cache.cached(_cache.derivations, key, compute)
+    if status == "err":
+        raise ShufflePlanError(payload)
+    return list(payload)
+
+
+def _plan_warp_shuffle(
+    src_layout: LinearLayout,
+    dst_layout: LinearLayout,
+    elem_bits: int,
+    shuffle_bits: int,
+) -> List[object]:
     from repro.codegen.plan import RegisterPermute
 
     full_src, full_dst = src_layout, dst_layout

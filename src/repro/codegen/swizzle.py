@@ -17,8 +17,9 @@ when two threads touch the same bank in different segments — i.e. when
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import cache as _cache
 from repro.core.dims import LANE, OFFSET, REGISTER
 from repro.core.errors import LayoutError
 from repro.core.layout import LinearLayout
@@ -113,7 +114,44 @@ def optimal_swizzled_layout(
     ``ldmatrix``/``stmatrix`` tile (Section 5.3) so the tile division
     of Theorem 5.1 succeeds; the rest of the algorithm still minimizes
     conflicts around the pinned bits.
+
+    The returned :class:`SwizzlePlan` is frozen and memoized on the
+    canonical layout keys plus every parameter.
     """
+    key = (
+        "optimal_swizzle",
+        src_layout.canonical_key(),
+        dst_layout.canonical_key(),
+        elem_bits,
+        bank_row_bytes,
+        max_vector_bits,
+        None if vec_override is None else tuple(vec_override),
+        None if bank_prefix is None else tuple(bank_prefix),
+    )
+    return _cache.cached(
+        _cache.derivations,
+        key,
+        lambda: _optimal_swizzled_layout(
+            src_layout,
+            dst_layout,
+            elem_bits,
+            bank_row_bytes,
+            max_vector_bits,
+            vec_override,
+            bank_prefix,
+        ),
+    )
+
+
+def _optimal_swizzled_layout(
+    src_layout: LinearLayout,
+    dst_layout: LinearLayout,
+    elem_bits: int,
+    bank_row_bytes: int,
+    max_vector_bits: int,
+    vec_override: Optional[Sequence[int]],
+    bank_prefix: Optional[Sequence[int]],
+) -> SwizzlePlan:
     src = DistributedView(src_layout)
     dst = DistributedView(dst_layout)
     if dict(src_layout.out_dim_sizes()) != dict(dst_layout.out_dim_sizes()):

@@ -16,7 +16,7 @@ linear engine can pick because it can convert out of it cheaply.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.layout import LinearLayout

@@ -16,7 +16,6 @@ from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.errors import LayoutError
 from repro.core.layout import LinearLayout
 from repro.core.properties import is_distributed_layout
-from repro.f2.bitvec import popcount
 
 
 class DistributedView:

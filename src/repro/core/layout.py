@@ -24,6 +24,7 @@ from typing import (
     Tuple,
 )
 
+from repro import cache as _cache
 from repro.core.errors import (
     DimensionError,
     LayoutError,
@@ -39,6 +40,35 @@ from repro.f2.solve import (
 )
 
 Bases = Dict[str, List[Tuple[int, ...]]]
+
+
+class CanonicalKey:
+    """A layout's structural identity with a precomputed hash.
+
+    Canonical keys appear inside every cache key the layout machinery
+    builds; Python tuples re-hash their contents on each lookup, which
+    for large layouts dominates the cache probe.  Wrapping the tuple
+    once makes repeated hashing O(1).
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: Tuple):
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, CanonicalKey):
+            return NotImplemented
+        return self._hash == other._hash and self.key == other.key
+
+    def __repr__(self) -> str:
+        return f"CanonicalKey({self.key!r})"
 
 
 class LinearLayout:
@@ -62,7 +92,15 @@ class LinearLayout:
         requires of distributed layouts.
     """
 
-    __slots__ = ("_bases", "_in_dims", "_out_dims", "_surjective")
+    __slots__ = (
+        "_bases",
+        "_in_dims",
+        "_out_dims",
+        "_surjective",
+        "_key",
+        "_hash",
+        "_memo",
+    )
 
     def __init__(
         self,
@@ -98,6 +136,14 @@ class LinearLayout:
         self._in_dims: Dict[str, int] = {
             d: 1 << len(v) for d, v in clean.items()
         }
+        self._key = CanonicalKey(
+            (
+                tuple((d, tuple(v)) for d, v in clean.items()),
+                tuple(self._out_dims.items()),
+            )
+        )
+        self._hash = hash(self._key)
+        self._memo: Dict[object, object] = {}
         self._surjective = self._compute_surjective()
         if require_surjective and not self._surjective:
             raise LayoutError(
@@ -190,6 +236,44 @@ class LinearLayout:
                 images.append(tuple(coords))
             bases[in_dim] = images
         return LinearLayout(bases, dict(out_dims), require_surjective)
+
+    # ------------------------------------------------------------------
+    # Interning and memoization
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> CanonicalKey:
+        """A hashable key identifying the layout structurally.
+
+        Two layouts are ``==`` iff their canonical keys are equal: the
+        key lists the basis images per input dim (in declaration
+        order) and the output dims with their sizes (in order).  It is
+        the interning key of :meth:`intern` and the cache key every
+        memoized derivation hangs off.
+        """
+        return self._key
+
+    def intern(self) -> "LinearLayout":
+        """The canonical representative of this layout.
+
+        Structurally equal layouts intern to the *same object*
+        (hash-consing), so repeated anchor construction and plan
+        lookups collapse to identity checks.  With caching disabled
+        this returns ``self`` unchanged.
+        """
+        return _cache.intern_layout(self)
+
+    def _memoized(self, name: str, compute):
+        """Per-instance memo for derived values, behind the off-switch.
+
+        Layouts are immutable, so derivations are cached forever on
+        the instance; :func:`repro.cache.set_enabled` bypasses the
+        memo (it never needs invalidation — only bypassing).
+        """
+        if not _cache.enabled():
+            return compute()
+        memo = self._memo
+        if name not in memo:
+            memo[name] = compute()
+        return memo[name]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -379,12 +463,26 @@ class LinearLayout:
         layout's own order, first dim in the low columns); output bits
         likewise in ``out_dim_order``.
         """
+        if in_dim_order is None and out_dim_order is None:
+            # The default view is the one every F2 derivation uses;
+            # F2Matrix is immutable, so sharing the instance is safe.
+            return self._memoized(
+                "to_matrix",
+                lambda: self._build_matrix(
+                    list(self._in_dims), list(self._out_dims)
+                ),
+            )
         ins = list(in_dim_order) if in_dim_order else list(self._in_dims)
         outs = list(out_dim_order) if out_dim_order else list(self._out_dims)
         if set(ins) != set(self._in_dims):
             raise DimensionError(f"in_dim_order {ins} != {self.in_dims}")
         if set(outs) != set(self._out_dims):
             raise DimensionError(f"out_dim_order {outs} != {self.out_dims}")
+        return self._build_matrix(ins, outs)
+
+    def _build_matrix(
+        self, ins: Sequence[str], outs: Sequence[str]
+    ) -> F2Matrix:
         out_shift = {}
         shift = 0
         for name in outs:
@@ -403,10 +501,23 @@ class LinearLayout:
     # ------------------------------------------------------------------
     # Predicates
     # ------------------------------------------------------------------
+    def _rank(self) -> int:
+        """Rank of the layout matrix, memoized globally by key.
+
+        Gaussian elimination is the construction-time hot spot (every
+        layout computes surjectivity); the global key means repeated
+        construction of *equal* layouts pays for it once.
+        """
+        return _cache.cached(
+            _cache.derivations,
+            ("rank", self._key),
+            lambda: f2_rank(self.to_matrix()),
+        )
+
     def _compute_surjective(self) -> bool:
         if self.total_out_bits() == 0:
             return True
-        return f2_rank(self.to_matrix()) == self.total_out_bits()
+        return self._rank() == self.total_out_bits()
 
     def is_surjective(self) -> bool:
         """True iff the image is the whole output space."""
@@ -414,7 +525,7 @@ class LinearLayout:
 
     def is_injective(self) -> bool:
         """True iff no two inputs map to the same output."""
-        return f2_rank(self.to_matrix()) == self.total_in_bits()
+        return self._rank() == self.total_in_bits()
 
     def is_invertible(self) -> bool:
         """True iff the map is a bijection."""
@@ -528,11 +639,14 @@ class LinearLayout:
             raise NonInvertibleLayoutError(
                 "layout is not invertible (need bijectivity)"
             )
-        matrix = self.to_matrix()
-        inv = f2_inverse(matrix)
-        return LinearLayout.from_matrix(
-            inv, dict(self._out_dims), dict(self._in_dims)
-        )
+
+        def compute() -> "LinearLayout":
+            inv = f2_inverse(self.to_matrix())
+            return LinearLayout.from_matrix(
+                inv, dict(self._out_dims), dict(self._in_dims)
+            )
+
+        return self._memoized("invert", compute)
 
     def right_inverse(self) -> "LinearLayout":
         """A right inverse of a surjective layout (Definition 4.5).
@@ -544,17 +658,21 @@ class LinearLayout:
             raise NonInvertibleLayoutError(
                 "right inverse requires surjectivity"
             )
-        matrix = self.to_matrix()
-        try:
-            rinv = solve_matrix(matrix, F2Matrix.identity(matrix.rows))
-        except InconsistentSystemError as exc:  # pragma: no cover
-            raise NonInvertibleLayoutError(str(exc)) from exc
-        return LinearLayout.from_matrix(
-            rinv,
-            dict(self._out_dims),
-            dict(self._in_dims),
-            require_surjective=False,
-        )
+
+        def compute() -> "LinearLayout":
+            matrix = self.to_matrix()
+            try:
+                rinv = solve_matrix(matrix, F2Matrix.identity(matrix.rows))
+            except InconsistentSystemError as exc:  # pragma: no cover
+                raise NonInvertibleLayoutError(str(exc)) from exc
+            return LinearLayout.from_matrix(
+                rinv,
+                dict(self._out_dims),
+                dict(self._in_dims),
+                require_surjective=False,
+            )
+
+        return self._memoized("right_inverse", compute)
 
     def invert_and_compose(self, other: "LinearLayout") -> "LinearLayout":
         """``other^{-1} ∘ self`` — the conversion map of Section 5.4.
@@ -574,15 +692,23 @@ class LinearLayout:
             raise NonInvertibleLayoutError(
                 "destination layout must be surjective"
             )
-        # Solve other @ X = self column-wise over F2.
-        a = self.to_matrix()
-        b = other.to_matrix()
-        x = solve_matrix(b, a)
-        return LinearLayout.from_matrix(
-            x,
-            dict(self._in_dims),
-            dict(other._in_dims),
-            require_surjective=False,
+
+        def compute() -> "LinearLayout":
+            # Solve other @ X = self column-wise over F2.
+            a = self.to_matrix()
+            b = other.to_matrix()
+            x = solve_matrix(b, a)
+            return LinearLayout.from_matrix(
+                x,
+                dict(self._in_dims),
+                dict(other._in_dims),
+                require_surjective=False,
+            )
+
+        return _cache.cached(
+            _cache.derivations,
+            ("invert_and_compose", self._key, other._key),
+            compute,
         )
 
     # ------------------------------------------------------------------
@@ -702,6 +828,11 @@ class LinearLayout:
         replication.  Zero columns are the broadcast markers of
         Section 5.1.
         """
+        return dict(
+            self._memoized("free_variable_masks", self._free_variable_masks)
+        )
+
+    def _free_variable_masks(self) -> Dict[str, int]:
         masks: Dict[str, int] = {}
         seen: Dict[int, int] = {}
 
@@ -746,13 +877,11 @@ class LinearLayout:
     # Dunder plumbing
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, LinearLayout):
             return NotImplemented
-        return (
-            list(self._out_dims.items()) == list(other._out_dims.items())
-            and list(self._in_dims.items()) == list(other._in_dims.items())
-            and self._bases == other._bases
-        )
+        return self._key == other._key
 
     def equivalent(self, other: "LinearLayout") -> bool:
         """Equality up to input/output dim *order* (same map).
@@ -777,12 +906,12 @@ class LinearLayout:
         return True
 
     def __hash__(self) -> int:
-        return hash(
-            (
-                tuple(self._out_dims.items()),
-                tuple((d, tuple(v)) for d, v in self._bases.items()),
-            )
-        )
+        # Precomputed from the canonical key, so hashing is as cheap
+        # as the dict lookups interning and the plan cache perform.
+        # ``a == b`` iff ``a.canonical_key() == b.canonical_key()``,
+        # which guarantees the eq/hash contract layouts need to serve
+        # as dict keys (see tests/test_cache.py).
+        return self._hash
 
     # ------------------------------------------------------------------
     # Serialization

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import cache as _cache
 from repro.core.errors import DimensionError, NotDivisibleError
 from repro.core.layout import LinearLayout
 from repro.f2.bitvec import log2_int
@@ -28,7 +29,21 @@ def divide_left(
     Every input and output dim of the tile must exist in the layout
     with at least the tile's size.  In the quotient, each shared dim
     keeps the left-over high bits.
+
+    Results (including failures) are memoized on the canonical layout
+    keys: Theorem 5.1's divisibility test runs for every candidate
+    staging layout of every conversion, over a tiny set of tiles.
     """
+    return _cache.cached(
+        _cache.derivations,
+        ("divide_left", layout.canonical_key(), tile.canonical_key()),
+        lambda: _divide_left(layout, tile),
+    )
+
+
+def _divide_left(
+    layout: LinearLayout, tile: LinearLayout
+) -> Optional[LinearLayout]:
     for d in tile.in_dims:
         if tile.in_dim_size(d) > layout.in_dim_size(d):
             return None

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import cache as _cache
 from repro.codegen.conversion import plan_conversion
 from repro.codegen.gather import can_gather_with_shuffles, plan_gather
 from repro.codegen.plan import ConversionPlan
@@ -124,24 +125,53 @@ class LayoutEngine:
     def _blocked_anchor(
         self, shape: Tuple[int, ...], dtype: DType
     ) -> Tuple[BlockedLayout, LinearLayout]:
-        desc = legacy_default_blocked(
-            shape, dtype.bits, self.num_warps, self.spec.warp_size
+        """The default blocked anchor, shared across compilations.
+
+        Keyed on everything the construction reads: the tile shape,
+        the element width, and the engine's warp configuration.  The
+        returned descriptor and layout are treated as immutable by
+        every consumer.
+        """
+
+        def make() -> Tuple[BlockedLayout, LinearLayout]:
+            desc = legacy_default_blocked(
+                shape, dtype.bits, self.num_warps, self.spec.warp_size
+            )
+            return desc, desc.to_linear(shape).intern()
+
+        return _cache.cached(
+            _cache.engine,
+            (
+                "blocked_anchor",
+                tuple(shape),
+                dtype.bits,
+                self.num_warps,
+                self.spec.warp_size,
+            ),
+            make,
         )
-        return desc, desc.to_linear(shape)
 
     def _mma_parent(self, m: int, n: int):
         """The accumulator layout for a dot of output shape (m, n)."""
-        flavor = self.spec.mma_flavor
-        if flavor == "mfma":
-            wm, wn = _balanced_warps(self.num_warps, m, n, 32, 32)
-            return AmdMfmaLayout((wm, wn))
-        if flavor == "wgmma" and m >= 64 and self.num_warps % 4 == 0:
-            wm = 4
-            wn = max(1, self.num_warps // 4)
-            instr_n = min(max(8, n), 256)
-            return WgmmaLayout((wm, wn), instr_n=instr_n)
-        wm, wn = _balanced_warps(self.num_warps, m, n, 16, 8)
-        return NvidiaMmaLayout((wm, wn))
+
+        def make():
+            flavor = self.spec.mma_flavor
+            if flavor == "mfma":
+                wm, wn = _balanced_warps(self.num_warps, m, n, 32, 32)
+                return AmdMfmaLayout((wm, wn))
+            if flavor == "wgmma" and m >= 64 and self.num_warps % 4 == 0:
+                wm = 4
+                wn = max(1, self.num_warps // 4)
+                instr_n = min(max(8, n), 256)
+                return WgmmaLayout((wm, wn), instr_n=instr_n)
+            wm, wn = _balanced_warps(self.num_warps, m, n, 16, 8)
+            return NvidiaMmaLayout((wm, wn))
+
+        return _cache.cached(
+            _cache.engine,
+            ("mma_parent", self.spec.mma_flavor, self.num_warps, m, n),
+            make,
+        )
 
     def _operand_descriptor(self, parent, op_idx: int, dtype: DType):
         kwidth = mma_kwidth(dtype)
@@ -164,6 +194,12 @@ class LayoutEngine:
         Takes ownership of ``graph``: ops are rewired in place as
         conversions are inserted.  Rebuild the graph (or keep the
         builder function) to compile again in another mode.
+
+        Anchor layouts, conversion plans, and their priced instruction
+        streams are memoized in :mod:`repro.cache`, so recompiling the
+        same graph shape is dominated by graph traversal rather than
+        F2 planning (see ``docs/CACHING.md``); results are identical
+        with caching disabled.
         """
         try:
             propagated = self._propagate(graph)
@@ -354,11 +390,28 @@ class LayoutEngine:
         _, n = b.shape
         del k
         parent = self._mma_parent(m, n)
-        op.output.layout = parent.to_linear((m, n))
+        op.output.layout = _cache.cached(
+            _cache.engine,
+            ("dot_acc", self.spec.mma_flavor, self.num_warps, m, n),
+            lambda: parent.to_linear((m, n)).intern(),
+        )
         op.output.descriptor = parent
         new_inputs = []
         for idx, operand in enumerate((a, b)):
-            desc = self._operand_descriptor(parent, idx, operand.dtype)
+            desc, layout = _cache.cached(
+                _cache.engine,
+                (
+                    "dot_operand",
+                    self.spec.mma_flavor,
+                    self.num_warps,
+                    m,
+                    n,
+                    idx,
+                    operand.dtype.name,
+                    tuple(operand.shape),
+                ),
+                lambda: self._dot_operand(parent, idx, operand),
+            )
             if desc is None:
                 # Operand consumed from shared memory: stage it.
                 staged = out.new_value(operand.shape, operand.dtype)
@@ -367,10 +420,17 @@ class LayoutEngine:
                 out.add(Op(OpKind.LOCAL_STORE, [operand], staged, {}))
                 new_inputs.append(staged)
             else:
-                layout = desc.to_linear(operand.shape)
                 new_inputs.append(convert_to(operand, layout, desc))
         op.inputs = new_inputs
         out.add(op)
+
+    def _dot_operand(self, parent, idx: int, operand: Value):
+        """(descriptor, layout) of one dot operand; (None, None) when
+        the operand is consumed straight from shared memory."""
+        desc = self._operand_descriptor(parent, idx, operand.dtype)
+        if desc is None:
+            return None, None
+        return desc, desc.to_linear(operand.shape).intern()
 
     def _consumer_layout(
         self, graph: Graph, op: Op
@@ -497,13 +557,11 @@ class LayoutEngine:
                 src = op.inputs[0]
                 if src.layout is None or op.output.layout is None:
                     continue
-                plan = self._lower_conversion(
+                plan, instructions, _ = self._priced_conversion(
                     src.layout, op.output.layout, src.dtype
                 )
                 conversions.append(plan)
-                trace.instructions.extend(
-                    price_plan(plan, self.spec).instructions
-                )
+                trace.instructions.extend(instructions)
             elif kind == OpKind.ELEMENTWISE:
                 layout = op.output.layout
                 trace.emit(
@@ -581,11 +639,39 @@ class LayoutEngine:
             dedupe_broadcast=False,
         )
 
+    def _priced_conversion(
+        self, src: LinearLayout, dst: LinearLayout, dtype: DType
+    ) -> Tuple[ConversionPlan, Tuple, float]:
+        """(plan, priced instructions, cycles) of one conversion.
+
+        The warm-path workhorse: repeated compilations of the same
+        graph hit this cache and skip planning *and* pricing.  The
+        instruction tuple is extended into each compilation's trace;
+        instructions are frozen, so sharing is safe.
+        """
+
+        def make() -> Tuple[ConversionPlan, Tuple, float]:
+            plan = self._lower_conversion(src, dst, dtype)
+            priced = price_plan(plan, self.spec)
+            return plan, tuple(priced.instructions), priced.cycles()
+
+        return _cache.cached(
+            _cache.engine,
+            (
+                "priced_conversion",
+                src.canonical_key(),
+                dst.canonical_key(),
+                dtype.bits,
+                self.mode,
+                self.spec,
+            ),
+            make,
+        )
+
     def _conversion_cycles(
         self, src: LinearLayout, dst: LinearLayout, dtype: DType
     ) -> float:
-        plan = self._lower_conversion(src, dst, dtype)
-        return price_plan(plan, self.spec).cycles()
+        return self._priced_conversion(src, dst, dtype)[2]
 
     def _vector_bits(self, layout, desc, shape, bits) -> int:
         if self.mode == "legacy" and isinstance(desc, BlockedLayout):
@@ -595,16 +681,31 @@ class LayoutEngine:
         return vector_width_bits(layout, bits, self.spec.max_vector_bits)
 
     def _global_cycles(self, layout, desc, shape, dtype) -> float:
-        vec = self._vector_bits(layout, desc, shape, dtype.bits)
-        regs = layout.in_dim_size(REGISTER)
-        count = max(1, regs * dtype.bits // vec)
-        from repro.hardware.cost import CostModel
-        from repro.hardware.instructions import Instruction
+        def compute() -> float:
+            vec = self._vector_bits(layout, desc, shape, dtype.bits)
+            regs = layout.in_dim_size(REGISTER)
+            count = max(1, regs * dtype.bits // vec)
+            from repro.hardware.cost import CostModel
+            from repro.hardware.instructions import Instruction
 
-        inst = Instruction(
-            InstructionKind.GLOBAL_LOAD, vector_bits=vec, count=count
+            inst = Instruction(
+                InstructionKind.GLOBAL_LOAD, vector_bits=vec, count=count
+            )
+            return CostModel(self.spec).instruction_cycles(inst)
+
+        return _cache.cached(
+            _cache.engine,
+            (
+                "global_cycles",
+                self.mode,
+                layout.canonical_key(),
+                None if desc is None else repr(desc),
+                tuple(shape),
+                dtype.bits,
+                self.spec,
+            ),
+            compute,
         )
-        return CostModel(self.spec).instruction_cycles(inst)
 
     def _cost_global(
         self, value: Value, trace: Trace, kind: InstructionKind

@@ -9,8 +9,7 @@ engine models by forcing a conversion to blocked first.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.core.layout import LinearLayout
 from repro.core.reshape import (

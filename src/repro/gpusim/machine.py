@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.layout import LinearLayout
-from repro.codegen.gather import GatherPlan, plan_gather
+from repro.codegen.gather import plan_gather
 from repro.codegen.plan import (
     Barrier,
     ConversionPlan,

@@ -10,7 +10,7 @@ hardware behaves and what Lemma 9.4 predicts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.hardware.spec import GpuSpec
 

@@ -10,8 +10,8 @@ counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from dataclasses import dataclass
+from typing import Dict, Iterable
 
 from repro.hardware.instructions import Instruction, InstructionKind
 from repro.hardware.spec import GpuSpec

@@ -11,8 +11,7 @@ exists.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 from repro.core.dims import LANE, OFFSET, REGISTER
 from repro.core.layout import LinearLayout

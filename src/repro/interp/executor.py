@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.engine.ir import Graph, Op, OpKind, Value
+from repro.engine.ir import Graph, OpKind, Value
 from repro.mxfp.emulate import emulated_matmul
 from repro.mxfp.quantize import quantize_to
 

@@ -10,8 +10,8 @@ Figure 7 conversion microbenchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from repro.engine.builder import KernelBuilder
 from repro.mxfp.types import (

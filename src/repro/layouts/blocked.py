@@ -8,7 +8,7 @@ memory access (Figure 1, Layout A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.dims import LANE, REGISTER, WARP

@@ -21,8 +21,6 @@ entries — the limitations the paper measures against:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
 
 from repro.core.errors import LegacyUnsupportedError
 from repro.layouts.blocked import BlockedLayout

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-from repro.core.dims import LANE, REGISTER, WARP
+from repro.core.dims import REGISTER, WARP
 from repro.core.errors import DimensionError
 from repro.core.layout import LinearLayout
 from repro.f2.bitvec import log2_int

@@ -13,8 +13,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.mxfp.quantize import decode_mxfp4, encode_mxfp4, quantize_to
-from repro.mxfp.types import BF16, DType, F16, F32, F64, MXFP4
+from repro.mxfp.quantize import quantize_to
+from repro.mxfp.types import DType, F32, MXFP4
 
 
 def compute_precision(a: DType, b: DType) -> DType:

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mxfp.types import DType, MXFP4, mma_kwidth
+from repro.mxfp.types import DType, mma_kwidth
 
 
 @dataclass(frozen=True)
