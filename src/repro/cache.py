@@ -50,6 +50,8 @@ __all__ = [
     "CacheStats",
     "cached",
     "clear",
+    "counters",
+    "counters_delta",
     "disabled",
     "enabled",
     "intern_layout",
@@ -257,3 +259,33 @@ def clear() -> None:
 def stats() -> Dict[str, CacheStats]:
     """Statistics for every registered cache, by name."""
     return {cache.name: cache.stats() for cache in _REGISTRY}
+
+
+def counters() -> Dict[str, int]:
+    """Aggregate hit/miss totals across every registered cache.
+
+    A cheap monotonic snapshot — the pass manager takes one before and
+    after each pass and attributes the delta to that pass, which is
+    how per-pass ``cache_hits`` diagnostics are produced without
+    threading counters through every call site.
+    """
+    hits = misses = 0
+    for cache in _REGISTRY:
+        snap = cache.stats()
+        hits += snap.hits
+        misses += snap.misses
+    return {"hits": hits, "misses": misses}
+
+
+def counters_delta(before: Dict[str, int]) -> Dict[str, int]:
+    """Hits/misses accumulated since a :func:`counters` snapshot.
+
+    Deltas are clamped at zero: a concurrent :func:`clear` (or another
+    thread's :meth:`BoundedCache.clear`) resets the underlying
+    counters, and a negative attribution would be nonsense.
+    """
+    now = counters()
+    return {
+        "hits": max(0, now["hits"] - before["hits"]),
+        "misses": max(0, now["misses"] - before["misses"]),
+    }

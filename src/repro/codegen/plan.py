@@ -32,6 +32,17 @@ class RegisterPermute:
             if r < 0:
                 raise ValueError(f"negative source register {r}")
 
+    def describe(self) -> str:
+        """Readable summary: register count and how many actually move."""
+        moved = sum(1 for dst, src in enumerate(self.dst_to_src) if dst != src)
+        return (
+            f"register_permute: {len(self.dst_to_src)} regs, "
+            f"{moved} moved"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
 
 @dataclass(frozen=True)
 class ShuffleRound:
@@ -50,6 +61,19 @@ class ShuffleRound:
     recv_regs: Tuple[Tuple[int, ...], ...]
     insts_per_round: int = 1
 
+    def describe(self) -> str:
+        """Readable summary: lane fan-in and instruction count."""
+        crossing = sum(
+            1 for lane, src in enumerate(self.src_lane) if lane != src
+        )
+        return (
+            f"shuffle_round: {len(self.src_lane)} lanes "
+            f"({crossing} crossing), {self.insts_per_round} inst/round"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
 
 @dataclass(frozen=True)
 class SharedStore:
@@ -65,6 +89,15 @@ class SharedStore:
     elem_bytes: int
     use_stmatrix: bool = False
 
+    def describe(self) -> str:
+        """Readable summary: lanes, accesses/lane, vector width."""
+        return _describe_shared(
+            "shared_store", self, "stmatrix" if self.use_stmatrix else ""
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
 
 @dataclass(frozen=True)
 class SharedLoad:
@@ -74,10 +107,42 @@ class SharedLoad:
     elem_bytes: int
     use_ldmatrix: bool = False
 
+    def describe(self) -> str:
+        """Readable summary: lanes, accesses/lane, vector width."""
+        return _describe_shared(
+            "shared_load", self, "ldmatrix" if self.use_ldmatrix else ""
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
 
 @dataclass(frozen=True)
 class Barrier:
     """A CTA-wide ``bar.sync``."""
+
+    def describe(self) -> str:
+        """Readable summary."""
+        return "barrier"
+
+    def __repr__(self) -> str:
+        return "<barrier>"
+
+
+def _describe_shared(label: str, step, matrix_note: str) -> str:
+    """Shared-memory step summary: lanes, per-lane accesses, widths."""
+    lanes = len(step.accesses)
+    per_lane = max((len(a) for a in step.accesses), default=0)
+    widest = max(
+        (len(regs) for lane in step.accesses for _, regs in lane),
+        default=0,
+    )
+    vec_bits = widest * step.elem_bytes * 8
+    note = f", {matrix_note}" if matrix_note else ""
+    return (
+        f"{label}: {lanes} lanes x {per_lane} accesses, "
+        f"vec {vec_bits}b{note}"
+    )
 
 
 Step = object  # union of the five step types above
@@ -107,4 +172,46 @@ class ConversionPlan:
         """True iff the plan stages data through shared memory."""
         return any(
             isinstance(s, (SharedStore, SharedLoad)) for s in self.steps
+        )
+
+    def describe(self) -> str:
+        """A multi-line, human-readable rendering of the plan.
+
+        Pass diagnostics and test failures print this instead of the
+        raw dataclass dump (whose routing tables run to thousands of
+        characters for real conversions).
+        """
+        src_dims = "x".join(
+            str(self.src.out_dim_size(d)) for d in self.src.out_dims
+        )
+        dst_dims = "x".join(
+            str(self.dst.out_dim_size(d)) for d in self.dst.out_dims
+        )
+        header = f"ConversionPlan[{self.kind}] {src_dims} -> {dst_dims}"
+        details = []
+        if self.shared_bytes:
+            details.append(f"{self.shared_bytes} shared bytes")
+        if self.notes:
+            details.append("; ".join(self.notes))
+        if details:
+            header += f" ({', '.join(details)})"
+        lines = [header]
+        for i, step in enumerate(self.steps):
+            text = (
+                step.describe()
+                if hasattr(step, "describe")
+                else repr(step)
+            )
+            lines.append(f"  {i}: {text}")
+        if not self.steps:
+            lines.append("  (no steps)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        shared = (
+            f", {self.shared_bytes}B shared" if self.shared_bytes else ""
+        )
+        return (
+            f"<ConversionPlan {self.kind}: {len(self.steps)} steps, "
+            f"{self.num_shuffle_rounds()} shuffle rounds{shared}>"
         )

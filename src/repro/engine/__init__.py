@@ -1,24 +1,63 @@
 """Triton's layout engine, reproduced over a mini tensor IR.
 
-``KernelBuilder`` writes the op graph a Triton kernel lowers to;
-``LayoutEngine`` assigns anchor layouts (loads/stores get blocked
-layouts, ``dot`` gets the platform's MMA layout), propagates layouts
-forward through shape operations, inserts ``convert_layout`` ops at
-conflicts, removes conversions between equivalent layouts (linear mode
-only — legacy cannot compare layouts across kinds), and lowers every
-remaining conversion to an executable plan with a cost trace.
+``KernelBuilder`` writes the op graph a Triton kernel lowers to; the
+pass pipeline (:mod:`repro.engine.pipeline`) compiles it: anchor
+selection assigns hardware-preferred layouts (loads/stores get blocked
+layouts, ``dot`` gets the platform's MMA layout), forward propagation
+flows layouts through shape operations and inserts ``convert_layout``
+ops at conflicts (removing conversions between equivalent layouts —
+linear mode only; legacy cannot compare layouts across kinds),
+backward rematerialization re-anchors cheap producer chains, and
+lowering prices every op under the unified cost model.
+
+:func:`compile` is the one-call entry point; ``LayoutEngine`` is the
+configurable façade; ``PassManager``/``CompilationContext`` expose the
+pipeline for custom pass sequences.  See ``docs/ARCHITECTURE.md``.
 """
 
 from repro.engine.ir import Graph, Op, OpKind, Value
 from repro.engine.builder import KernelBuilder
 from repro.engine.engine import CompiledKernel, LayoutEngine
+from repro.engine.pipeline import (
+    CompilationContext,
+    Pass,
+    PassDiagnostics,
+    PassManager,
+    standard_passes,
+)
+from repro.hardware.spec import GpuSpec, RTX4090
+
+
+def compile(
+    graph: Graph,
+    spec: GpuSpec = RTX4090,
+    mode: str = "linear",
+    num_warps: int = 4,
+    passes: "PassManager | None" = None,
+) -> CompiledKernel:
+    """Compile a kernel graph with the standard pipeline.
+
+    The functional face of :meth:`LayoutEngine.compile` — equivalent
+    to ``LayoutEngine(spec, mode, num_warps).compile(graph)``.  Pass
+    ``passes`` to run a custom pipeline instead of the mode's
+    standard one.
+    """
+    engine = LayoutEngine(spec, mode, num_warps=num_warps)
+    return engine.compile(graph, passes=passes)
+
 
 __all__ = [
+    "CompilationContext",
     "CompiledKernel",
     "Graph",
     "KernelBuilder",
     "LayoutEngine",
     "Op",
     "OpKind",
+    "Pass",
+    "PassDiagnostics",
+    "PassManager",
     "Value",
+    "compile",
+    "standard_passes",
 ]

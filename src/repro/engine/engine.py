@@ -1,58 +1,54 @@
-"""The layout engine: anchors, propagation, remat, lowering, cost.
+"""The layout engine façade over the pass pipeline.
 
 ``LayoutEngine.compile`` turns a kernel graph into a
-:class:`CompiledKernel` the same way Triton's backend does:
+:class:`CompiledKernel` by running the standard pass pipeline of
+:mod:`repro.engine.pipeline`:
 
-1. **Propagation** — anchor ops (loads, stores, dots) receive their
-   preferred layouts; layouts flow forward through shape/compute ops,
-   and ``convert_layout`` ops appear wherever an operand arrives in
-   the wrong layout.  Conversions between equivalent layouts are
-   skipped — only the linear mode can compare layouts across kinds
-   (Section 6.2's welford no-op).
-2. **Rematerialization** — the backward pass of Section 4.4: a
-   conversion whose producer chain is inexpensive (loads and
+1. **Anchor selection** — loads, stores, and dots receive their
+   preferred layouts from the
+   :class:`~repro.engine.passes.anchor_selection.AnchorCatalog`.
+2. **Forward propagation** — layouts flow forward through
+   shape/compute ops, and ``convert_layout`` ops appear wherever an
+   operand arrives in the wrong layout.  Conversions between
+   equivalent layouts are skipped — only the linear mode can compare
+   layouts across kinds (Section 6.2's welford no-op).
+3. **Backward rematerialization** — the backward pass of Section 4.4:
+   a conversion whose producer chain is inexpensive (loads and
    elementwise ops with single uses) is eliminated by re-anchoring
    the chain in the destination layout, when the priced alternative
    is no worse.
-3. **Lowering** — every op is priced under the platform's cost model;
-   conversions lower through :func:`plan_conversion` (legacy mode:
-   padded staging, no warp shuffles, no ldmatrix, no duplicate
+4. **Lowering & cost** — every op is priced under the platform's
+   unified cost model (:mod:`repro.gpusim.opcost`); conversions lower
+   through :func:`~repro.codegen.conversion.plan_conversion` (legacy
+   mode: padded staging, no warp shuffles, no ldmatrix, no duplicate
    elimination).
 
 A :class:`LegacyUnsupportedError` during compilation marks the kernel
 as *failed* — that is how the pass-rate columns of Tables 4 and 5 are
 measured rather than hard-coded.
+
+Each pass leaves a :class:`~repro.engine.pipeline.PassDiagnostics`
+record on the compiled kernel (``CompiledKernel.diagnostics``); see
+``docs/ARCHITECTURE.md`` for the pipeline contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro import cache as _cache
-from repro.codegen.conversion import plan_conversion
-from repro.codegen.gather import can_gather_with_shuffles, plan_gather
 from repro.codegen.plan import ConversionPlan
-from repro.codegen.vectorize import (
-    legacy_default_blocked,
-    legacy_vector_width_bits,
-    vector_width_bits,
-)
-from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.errors import LegacyUnsupportedError
-from repro.core.layout import LinearLayout
-from repro.engine.ir import Graph, Op, OpKind, Value
-from repro.engine.propagate import forward_descriptor, forward_layout
-from repro.gpusim.pricing import price_plan
+from repro.engine.ir import Graph, OpKind
+from repro.engine.pipeline import (
+    CompilationContext,
+    PassDiagnostics,
+    PassManager,
+)
 from repro.gpusim.trace import Trace
 from repro.hardware.instructions import InstructionKind
 from repro.hardware.spec import GpuSpec, RTX4090
-from repro.layouts.blocked import BlockedLayout
 from repro.layouts.legacy import LegacyLayoutSystem
-from repro.layouts.mfma import AmdMfmaLayout
-from repro.layouts.mma import MmaOperandLayout, NvidiaMmaLayout
-from repro.layouts.wgmma import WgmmaLayout, WgmmaOperandLayout
-from repro.mxfp.types import DType, mma_kwidth
 
 
 @dataclass
@@ -64,6 +60,9 @@ class CompiledKernel:
     mode: str
     error: Optional[str] = None
     conversions: List[ConversionPlan] = field(default_factory=list)
+    #: Per-pass instrumentation, in pipeline order (empty when the
+    #: kernel was built by hand rather than compiled).
+    diagnostics: List[PassDiagnostics] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -84,27 +83,25 @@ class CompiledKernel:
             + self.trace.count(InstructionKind.STMATRIX),
         }
 
+    def pass_diagnostics(self) -> List[Dict[str, object]]:
+        """JSON-friendly per-pass records (timing, counters, cache)."""
+        return [diag.to_dict() for diag in self.diagnostics]
 
-def _balanced_warps(
-    num_warps: int, m: int, n: int, tile_m: int, tile_n: int
-) -> Tuple[int, int]:
-    """Split warps over (M, N), greedily along the dimension with more
-    instruction tiles left — the standard warpsPerTile heuristic."""
-    wm = wn = 1
-    while wm * wn < num_warps:
-        tiles_m = max(1, m // (tile_m * wm))
-        tiles_n = max(1, n // (tile_n * wn))
-        if tiles_m >= tiles_n and tiles_m > 1:
-            wm *= 2
-        elif tiles_n > 1:
-            wn *= 2
-        else:
-            wm *= 2
-    return wm, wn
+    def describe_passes(self) -> str:
+        """A one-line-per-pass compilation profile."""
+        if not self.diagnostics:
+            return "(no pass diagnostics recorded)"
+        return "\n".join(diag.describe() for diag in self.diagnostics)
 
 
 class LayoutEngine:
-    """Compiles kernel graphs in ``linear`` or ``legacy`` mode."""
+    """Compiles kernel graphs in ``linear`` or ``legacy`` mode.
+
+    A thin façade: configuration lives here, the work happens in the
+    pass pipeline (:mod:`repro.engine.pipeline`).  Construct a
+    :class:`~repro.engine.pipeline.PassManager` directly to run a
+    custom pipeline (fewer passes, extra passes, swapped policies).
+    """
 
     def __init__(
         self,
@@ -119,76 +116,9 @@ class LayoutEngine:
         self.num_warps = num_warps
         self.legacy = LegacyLayoutSystem()
 
-    # ------------------------------------------------------------------
-    # Anchors
-    # ------------------------------------------------------------------
-    def _blocked_anchor(
-        self, shape: Tuple[int, ...], dtype: DType
-    ) -> Tuple[BlockedLayout, LinearLayout]:
-        """The default blocked anchor, shared across compilations.
-
-        Keyed on everything the construction reads: the tile shape,
-        the element width, and the engine's warp configuration.  The
-        returned descriptor and layout are treated as immutable by
-        every consumer.
-        """
-
-        def make() -> Tuple[BlockedLayout, LinearLayout]:
-            desc = legacy_default_blocked(
-                shape, dtype.bits, self.num_warps, self.spec.warp_size
-            )
-            return desc, desc.to_linear(shape).intern()
-
-        return _cache.cached(
-            _cache.engine,
-            (
-                "blocked_anchor",
-                tuple(shape),
-                dtype.bits,
-                self.num_warps,
-                self.spec.warp_size,
-            ),
-            make,
-        )
-
-    def _mma_parent(self, m: int, n: int):
-        """The accumulator layout for a dot of output shape (m, n)."""
-
-        def make():
-            flavor = self.spec.mma_flavor
-            if flavor == "mfma":
-                wm, wn = _balanced_warps(self.num_warps, m, n, 32, 32)
-                return AmdMfmaLayout((wm, wn))
-            if flavor == "wgmma" and m >= 64 and self.num_warps % 4 == 0:
-                wm = 4
-                wn = max(1, self.num_warps // 4)
-                instr_n = min(max(8, n), 256)
-                return WgmmaLayout((wm, wn), instr_n=instr_n)
-            wm, wn = _balanced_warps(self.num_warps, m, n, 16, 8)
-            return NvidiaMmaLayout((wm, wn))
-
-        return _cache.cached(
-            _cache.engine,
-            ("mma_parent", self.spec.mma_flavor, self.num_warps, m, n),
-            make,
-        )
-
-    def _operand_descriptor(self, parent, op_idx: int, dtype: DType):
-        kwidth = mma_kwidth(dtype)
-        if isinstance(parent, WgmmaLayout):
-            if op_idx == 1:
-                return None  # B comes straight from shared memory
-            return WgmmaOperandLayout(parent, kwidth)
-        if isinstance(parent, AmdMfmaLayout):
-            # Modeled with the generic mma fragment on 64-lane warps
-            # is out of scope; stage via shared like wgmma's B.
-            return None
-        return MmaOperandLayout(parent, op_idx, kwidth)
-
-    # ------------------------------------------------------------------
-    # Compilation driver
-    # ------------------------------------------------------------------
-    def compile(self, graph: Graph) -> CompiledKernel:
+    def compile(
+        self, graph: Graph, passes: Optional[PassManager] = None
+    ) -> CompiledKernel:
         """Compile a kernel graph.
 
         Takes ownership of ``graph``: ops are rewired in place as
@@ -200,16 +130,25 @@ class LayoutEngine:
         same graph shape is dominated by graph traversal rather than
         F2 planning (see ``docs/CACHING.md``); results are identical
         with caching disabled.
+
+        ``passes`` overrides the standard pipeline of the engine's
+        mode (e.g. a pipeline without rematerialization).
         """
+        ctx = CompilationContext.create(
+            graph, self.spec, self.mode, self.num_warps
+        )
+        ctx.legacy = self.legacy
+        manager = passes if passes is not None else PassManager.standard(
+            self.mode
+        )
         try:
-            propagated = self._propagate(graph)
-            self._rematerialize(propagated)
-            trace, conversions = self._lower(propagated)
+            manager.run(ctx)
             return CompiledKernel(
-                graph=propagated,
-                trace=trace,
+                graph=ctx.graph,
+                trace=ctx.trace,
                 mode=self.mode,
-                conversions=conversions,
+                conversions=ctx.conversions,
+                diagnostics=ctx.diagnostics,
             )
         except LegacyUnsupportedError as exc:
             return CompiledKernel(
@@ -217,596 +156,5 @@ class LayoutEngine:
                 trace=Trace(self.spec),
                 mode=self.mode,
                 error=str(exc),
+                diagnostics=ctx.diagnostics,
             )
-
-    # ------------------------------------------------------------------
-    # Pass 1: layout propagation
-    # ------------------------------------------------------------------
-    def _propagate(self, graph: Graph) -> Graph:
-        out = Graph()
-        out.values = graph.values
-
-        def convert_to(
-            value: Value, layout: LinearLayout, desc
-        ) -> Value:
-            """Insert a convert_layout if the layouts truly differ."""
-            if value.layout is None:
-                value.layout = layout
-                value.descriptor = desc
-                return value
-            if self.mode == "linear":
-                if value.layout.equivalent(layout):
-                    return value
-            else:
-                if (
-                    value.descriptor is not None
-                    and desc is not None
-                    and self.legacy.can_compare(value.descriptor, desc)
-                    and value.layout == layout
-                ):
-                    return value
-                self.legacy.check_conversion(
-                    value.descriptor
-                    if value.descriptor is not None
-                    else self._blocked_anchor(value.shape, value.dtype)[0],
-                    desc
-                    if desc is not None
-                    else self._blocked_anchor(value.shape, value.dtype)[0],
-                )
-            new_val = out.new_value(value.shape, value.dtype)
-            new_val.layout = layout
-            new_val.descriptor = desc
-            out.add(Op(OpKind.CONVERT_LAYOUT, [value], new_val, {}))
-            return new_val
-
-        for op in graph.ops:
-            kind = op.kind
-            if kind == OpKind.LOAD:
-                desc, layout = self._blocked_anchor(
-                    op.output.shape, op.output.dtype
-                )
-                op.output.layout = layout
-                op.output.descriptor = desc
-                out.add(op)
-            elif kind == OpKind.STORE:
-                value = op.inputs[0]
-                desc, layout = self._blocked_anchor(
-                    value.shape, value.dtype
-                )
-                value = convert_to(value, layout, desc)
-                out.add(Op(OpKind.STORE, [value], None, op.attrs))
-            elif kind == OpKind.ELEMENTWISE:
-                first = op.inputs[0]
-                new_inputs = [first]
-                for other in op.inputs[1:]:
-                    new_inputs.append(
-                        convert_to(other, first.layout, first.descriptor)
-                    )
-                op.inputs = new_inputs
-                op.output.layout = first.layout
-                op.output.descriptor = first.descriptor
-                out.add(op)
-            elif kind == OpKind.DOT:
-                self._propagate_dot(op, out, convert_to)
-            elif kind == OpKind.REDUCE:
-                value = op.inputs[0]
-                if self.mode == "legacy":
-                    self.legacy.check_reduction(
-                        value.descriptor
-                        if value.descriptor is not None
-                        else self._blocked_anchor(
-                            value.shape, value.dtype
-                        )[0]
-                    )
-                op.output.layout = forward_layout(op, value.layout)
-                op.output.descriptor = forward_descriptor(
-                    op, value.descriptor
-                )
-                out.add(op)
-            elif kind == OpKind.SCAN:
-                value = op.inputs[0]
-                if self.mode == "legacy":
-                    free = value.layout.free_variable_masks()
-                    has_dup = any(free.values())
-                    self.legacy.check_scan(
-                        value.descriptor
-                        if value.descriptor is not None
-                        else self._blocked_anchor(
-                            value.shape, value.dtype
-                        )[0],
-                        op.attrs.get("reverse", False),
-                        has_dup,
-                    )
-                op.output.layout = value.layout
-                op.output.descriptor = value.descriptor
-                out.add(op)
-            elif kind == OpKind.GATHER:
-                src, index = op.inputs
-                index = convert_to(index, src.layout, src.descriptor)
-                op.inputs = [src, index]
-                op.output.layout = src.layout
-                op.output.descriptor = src.descriptor
-                out.add(op)
-            elif kind == OpKind.BROADCAST:
-                # Broadcast into the consumer's layout and convert the
-                # *small* input tensor instead (forward half of the
-                # remat story; both compilers do this).
-                value = op.inputs[0]
-                target = self._consumer_layout(graph, op)
-                if target is not None:
-                    axes = [
-                        i
-                        for i, (old, new) in enumerate(
-                            zip(value.shape, op.attrs["shape"])
-                        )
-                        if old == 1 and new > 1
-                    ]
-                    from repro.engine.propagate import collapse_dims_to_one
-
-                    small = collapse_dims_to_one(target, axes)
-                    value = convert_to(value, small, None)
-                    op.inputs = [value]
-                    op.output.layout = target
-                    op.output.descriptor = None
-                    out.add(op)
-                else:
-                    op.output.layout = forward_layout(op, value.layout)
-                    op.output.descriptor = forward_descriptor(
-                        op, value.descriptor
-                    )
-                    out.add(op)
-            elif kind in (
-                OpKind.TRANS,
-                OpKind.RESHAPE,
-                OpKind.EXPAND_DIMS,
-                OpKind.JOIN,
-                OpKind.SPLIT,
-            ):
-                value = op.inputs[0]
-                desc = value.descriptor
-                if self.mode == "legacy" and kind == OpKind.TRANS:
-                    new_desc = forward_descriptor(op, desc)
-                    if new_desc is None:
-                        # Legacy cannot transpose MMA-family layouts:
-                        # bounce through a blocked layout first.
-                        bdesc, blayout = self._blocked_anchor(
-                            value.shape, value.dtype
-                        )
-                        value = convert_to(value, blayout, bdesc)
-                        op.inputs = [value]
-                        desc = bdesc
-                op.output.layout = forward_layout(op, value.layout)
-                op.output.descriptor = forward_descriptor(op, desc)
-                out.add(op)
-            elif kind == OpKind.CONVERT_LAYOUT:
-                out.add(op)  # pre-inserted by a kernel model
-            else:  # pragma: no cover
-                raise ValueError(f"unhandled op {kind}")
-        return out
-
-    def _propagate_dot(self, op: Op, out: Graph, convert_to) -> None:
-        a, b = op.inputs
-        m, k = a.shape
-        _, n = b.shape
-        del k
-        parent = self._mma_parent(m, n)
-        op.output.layout = _cache.cached(
-            _cache.engine,
-            ("dot_acc", self.spec.mma_flavor, self.num_warps, m, n),
-            lambda: parent.to_linear((m, n)).intern(),
-        )
-        op.output.descriptor = parent
-        new_inputs = []
-        for idx, operand in enumerate((a, b)):
-            desc, layout = _cache.cached(
-                _cache.engine,
-                (
-                    "dot_operand",
-                    self.spec.mma_flavor,
-                    self.num_warps,
-                    m,
-                    n,
-                    idx,
-                    operand.dtype.name,
-                    tuple(operand.shape),
-                ),
-                lambda: self._dot_operand(parent, idx, operand),
-            )
-            if desc is None:
-                # Operand consumed from shared memory: stage it.
-                staged = out.new_value(operand.shape, operand.dtype)
-                staged.layout = operand.layout
-                staged.descriptor = operand.descriptor
-                out.add(Op(OpKind.LOCAL_STORE, [operand], staged, {}))
-                new_inputs.append(staged)
-            else:
-                new_inputs.append(convert_to(operand, layout, desc))
-        op.inputs = new_inputs
-        out.add(op)
-
-    def _dot_operand(self, parent, idx: int, operand: Value):
-        """(descriptor, layout) of one dot operand; (None, None) when
-        the operand is consumed straight from shared memory."""
-        desc = self._operand_descriptor(parent, idx, operand.dtype)
-        if desc is None:
-            return None, None
-        return desc, desc.to_linear(operand.shape).intern()
-
-    def _consumer_layout(
-        self, graph: Graph, op: Op
-    ) -> Optional[LinearLayout]:
-        """The layout a broadcast's consumer already fixed for peers.
-
-        Scans users of the broadcast result for an operand of the same
-        shape whose layout is known (typically the tensor the
-        broadcast value is combined with).
-        """
-        for user in graph.users_of(op.output):
-            for other in user.inputs:
-                if other is op.output:
-                    continue
-                if (
-                    other.layout is not None
-                    and tuple(other.shape) == tuple(op.attrs["shape"])
-                ):
-                    return other.layout
-        return None
-
-    # ------------------------------------------------------------------
-    # Pass 2: backward rematerialization (Section 4.4)
-    # ------------------------------------------------------------------
-    def _rematerialize(self, graph: Graph) -> None:
-        """Eliminate conversions whose producer chain can be cheaply
-        re-anchored in the destination layout.
-
-        "In the backward pass, layout conversions are rematerialized
-        in reverse through the definition chain.  If the instructions
-        along the chain are inexpensive, the entire operation chain
-        may be rematerialized to eliminate layout conversions."  The
-        chains handled are single-use loads, optionally followed by
-        single-use single-input elementwise ops; the rewrite is taken
-        only when the priced alternative is no worse.
-        """
-        changed = True
-        while changed:
-            changed = False
-            for convert in list(graph.ops):
-                if convert.kind != OpKind.CONVERT_LAYOUT:
-                    continue
-                if convert.output is None or convert.output.layout is None:
-                    continue
-                chain = self._remat_chain(graph, convert)
-                if chain is None:
-                    continue
-                load, middles = chain
-                dst_layout = convert.output.layout
-                dst_desc = convert.output.descriptor
-                if self.mode == "legacy" and dst_desc is None:
-                    continue  # legacy can only anchor layouts it names
-                old_cost = self._global_cycles(
-                    load.output.layout, load.output.descriptor,
-                    load.output.shape, load.output.dtype,
-                ) + self._conversion_cycles(
-                    convert.inputs[0].layout, dst_layout,
-                    convert.inputs[0].dtype,
-                )
-                new_cost = self._global_cycles(
-                    dst_layout, dst_desc, load.output.shape,
-                    load.output.dtype,
-                )
-                if new_cost > old_cost:
-                    continue
-                # Re-anchor the chain and delete the conversion.
-                load.output.layout = dst_layout
-                load.output.descriptor = dst_desc
-                for mid in middles:
-                    mid.output.layout = dst_layout
-                    mid.output.descriptor = dst_desc
-                replaced = convert.output
-                for op in graph.ops:
-                    op.inputs = [
-                        convert.inputs[0] if v is replaced else v
-                        for v in op.inputs
-                    ]
-                graph.ops.remove(convert)
-                changed = True
-
-    def _remat_chain(
-        self, graph: Graph, convert: Op
-    ) -> Optional[Tuple[Op, List[Op]]]:
-        """(load, intermediate elementwise ops) feeding a conversion,
-        or None when the chain is not rematerializable."""
-        middles: List[Op] = []
-        current = convert.inputs[0]
-        while True:
-            if len(graph.users_of(current)) != 1:
-                return None
-            producer = current.producer
-            if producer is None:
-                return None
-            if producer.kind == OpKind.LOAD:
-                return producer, middles
-            if (
-                producer.kind == OpKind.ELEMENTWISE
-                and len(producer.inputs) == 1
-            ):
-                middles.append(producer)
-                current = producer.inputs[0]
-                continue
-            return None
-
-    # ------------------------------------------------------------------
-    # Pass 3: lowering & cost
-    # ------------------------------------------------------------------
-    def _lower(
-        self, graph: Graph
-    ) -> Tuple[Trace, List[ConversionPlan]]:
-        trace = Trace(self.spec)
-        conversions: List[ConversionPlan] = []
-        for op in graph.ops:
-            kind = op.kind
-            if kind == OpKind.LOAD:
-                self._cost_global(
-                    op.output, trace, InstructionKind.GLOBAL_LOAD
-                )
-            elif kind == OpKind.STORE:
-                self._cost_global(
-                    op.inputs[0], trace, InstructionKind.GLOBAL_STORE
-                )
-            elif kind == OpKind.CONVERT_LAYOUT:
-                src = op.inputs[0]
-                if src.layout is None or op.output.layout is None:
-                    continue
-                plan, instructions, _ = self._priced_conversion(
-                    src.layout, op.output.layout, src.dtype
-                )
-                conversions.append(plan)
-                trace.instructions.extend(instructions)
-            elif kind == OpKind.ELEMENTWISE:
-                layout = op.output.layout
-                trace.emit(
-                    InstructionKind.ALU,
-                    count=max(1, layout.in_dim_size(REGISTER)),
-                )
-            elif kind == OpKind.LOCAL_STORE:
-                operand = op.inputs[0]
-                elems = (
-                    operand.layout.in_dim_size(REGISTER)
-                    if operand.layout
-                    else 1
-                )
-                trace.emit(
-                    InstructionKind.SHARED_STORE,
-                    vector_bits=128,
-                    count=max(1, elems * operand.dtype.bits // 128),
-                )
-            elif kind == OpKind.DOT:
-                self._cost_dot(op, trace)
-            elif kind == OpKind.REDUCE:
-                self._cost_reduce(op, trace)
-            elif kind == OpKind.SCAN:
-                self._cost_scan(op, trace)
-            elif kind == OpKind.GATHER:
-                self._cost_gather(op, trace)
-            # Shape ops are register no-ops by construction.
-        return trace, conversions
-
-    def _cost_scan(self, op: Op, trace: Trace) -> None:
-        """Hillis-Steele within the warp, shared combine across warps."""
-        layout = op.inputs[0].layout
-        axis = op.attrs["axis"]
-        regs = layout.in_dim_size(REGISTER)
-        lane_bits = sum(
-            1 for img in layout.bases.get(LANE, []) if img[axis] != 0
-        )
-        warp_bits = sum(
-            1 for img in layout.bases.get(WARP, []) if img[axis] != 0
-        )
-        trace.emit(InstructionKind.ALU, count=max(1, regs))
-        trace.emit(InstructionKind.SHUFFLE, count=lane_bits * max(1, regs))
-        if warp_bits:
-            trace.emit(
-                InstructionKind.SHARED_STORE, vector_bits=32, count=1
-            )
-            trace.emit(InstructionKind.BARRIER)
-            trace.emit(
-                InstructionKind.SHARED_LOAD,
-                vector_bits=32,
-                count=1 << warp_bits,
-            )
-            trace.emit(InstructionKind.ALU, count=max(1, regs))
-
-    def _lower_conversion(
-        self, src: LinearLayout, dst: LinearLayout, dtype: DType
-    ) -> ConversionPlan:
-        if self.mode == "linear":
-            return plan_conversion(
-                src,
-                dst,
-                elem_bits=dtype.bits,
-                spec=self.spec,
-                allow_shuffle=True,
-                swizzle_mode="optimal",
-                dedupe_broadcast=True,
-            )
-        return plan_conversion(
-            src,
-            dst,
-            elem_bits=dtype.bits,
-            spec=self.spec,
-            allow_shuffle=False,
-            swizzle_mode="padded",
-            dedupe_broadcast=False,
-        )
-
-    def _priced_conversion(
-        self, src: LinearLayout, dst: LinearLayout, dtype: DType
-    ) -> Tuple[ConversionPlan, Tuple, float]:
-        """(plan, priced instructions, cycles) of one conversion.
-
-        The warm-path workhorse: repeated compilations of the same
-        graph hit this cache and skip planning *and* pricing.  The
-        instruction tuple is extended into each compilation's trace;
-        instructions are frozen, so sharing is safe.
-        """
-
-        def make() -> Tuple[ConversionPlan, Tuple, float]:
-            plan = self._lower_conversion(src, dst, dtype)
-            priced = price_plan(plan, self.spec)
-            return plan, tuple(priced.instructions), priced.cycles()
-
-        return _cache.cached(
-            _cache.engine,
-            (
-                "priced_conversion",
-                src.canonical_key(),
-                dst.canonical_key(),
-                dtype.bits,
-                self.mode,
-                self.spec,
-            ),
-            make,
-        )
-
-    def _conversion_cycles(
-        self, src: LinearLayout, dst: LinearLayout, dtype: DType
-    ) -> float:
-        return self._priced_conversion(src, dst, dtype)[2]
-
-    def _vector_bits(self, layout, desc, shape, bits) -> int:
-        if self.mode == "legacy" and isinstance(desc, BlockedLayout):
-            return legacy_vector_width_bits(
-                desc, shape, bits, self.spec.max_vector_bits
-            )
-        return vector_width_bits(layout, bits, self.spec.max_vector_bits)
-
-    def _global_cycles(self, layout, desc, shape, dtype) -> float:
-        def compute() -> float:
-            vec = self._vector_bits(layout, desc, shape, dtype.bits)
-            regs = layout.in_dim_size(REGISTER)
-            count = max(1, regs * dtype.bits // vec)
-            from repro.hardware.cost import CostModel
-            from repro.hardware.instructions import Instruction
-
-            inst = Instruction(
-                InstructionKind.GLOBAL_LOAD, vector_bits=vec, count=count
-            )
-            return CostModel(self.spec).instruction_cycles(inst)
-
-        return _cache.cached(
-            _cache.engine,
-            (
-                "global_cycles",
-                self.mode,
-                layout.canonical_key(),
-                None if desc is None else repr(desc),
-                tuple(shape),
-                dtype.bits,
-                self.spec,
-            ),
-            compute,
-        )
-
-    def _cost_global(
-        self, value: Value, trace: Trace, kind: InstructionKind
-    ) -> None:
-        vec = self._vector_bits(
-            value.layout, value.descriptor, value.shape, value.dtype.bits
-        )
-        regs = value.layout.in_dim_size(REGISTER)
-        count = max(1, regs * value.dtype.bits // vec)
-        trace.emit(kind, vector_bits=vec, count=count)
-
-    def _cost_dot(self, op: Op, trace: Trace) -> None:
-        parent = op.output.descriptor
-        m, n = op.output.shape
-        k = op.inputs[0].shape[1]
-        if isinstance(parent, WgmmaLayout):
-            tile = (64, parent.instr_n, 16)
-            weight = max(1, int(parent.instr_n / 2 / 1.3))
-        elif isinstance(parent, AmdMfmaLayout):
-            tile = (32, 32, 8)
-            weight = 3
-        else:
-            tile = (16, 8, 16)
-            weight = 1
-        per_warp = (
-            max(1, m // (tile[0] * parent.warps_per_cta[0]))
-            * max(1, n // (tile[1] * parent.warps_per_cta[1]))
-            * max(1, k // tile[2])
-        )
-        trace.emit(InstructionKind.MMA, count=per_warp, wavefronts=weight)
-
-    def _cost_reduce(self, op: Op, trace: Trace) -> None:
-        value = op.inputs[0]
-        axis = op.attrs["axis"]
-        layout = value.layout
-        lane_bits = sum(
-            1 for img in layout.bases.get(LANE, []) if img[axis] != 0
-        )
-        warp_bits = sum(
-            1 for img in layout.bases.get(WARP, []) if img[axis] != 0
-        )
-        reg_bits = sum(
-            1 for img in layout.bases.get(REGISTER, []) if img[axis] != 0
-        )
-        # In-register tree plus butterfly shuffles within the warp.
-        trace.emit(InstructionKind.ALU, count=max(1, 1 << reg_bits))
-        trace.emit(InstructionKind.SHUFFLE, count=lane_bits)
-        if warp_bits:
-            # Cross-warp combine through shared memory.
-            out_layout = op.output.layout
-            from repro.codegen.broadcast import reduction_store_count
-
-            dedupe = self.mode == "linear"
-            stores = reduction_store_count(out_layout, dedupe)
-            lanes = max(1, out_layout.in_dim_size(LANE))
-            warps = max(1, out_layout.in_dim_size(WARP))
-            per_thread = max(1, stores // (lanes * warps))
-            trace.emit(
-                InstructionKind.SHARED_STORE,
-                vector_bits=32,
-                count=per_thread,
-            )
-            trace.emit(InstructionKind.BARRIER)
-            trace.emit(
-                InstructionKind.SHARED_LOAD,
-                vector_bits=32,
-                count=per_thread * (1 << warp_bits),
-            )
-            trace.emit(InstructionKind.ALU, count=1 << warp_bits)
-
-    def _cost_gather(self, op: Op, trace: Trace) -> None:
-        src = op.inputs[0]
-        axis = op.attrs["axis"]
-        layout = src.layout
-        regs = layout.in_dim_size(REGISTER)
-        if self.mode == "linear" and can_gather_with_shuffles(layout, axis):
-            plan = plan_gather(layout, axis)
-            shuffle_cycles = plan.total_shuffles * self.spec.shuffle_cycles
-            shared_cycles = (
-                regs * (self.spec.issue_cycles + 2)
-                + self.spec.barrier_cycles
-                + regs * (self.spec.issue_cycles + 4)
-            )
-            # Past the Figure 8 crossover the rounds outgrow the
-            # shared round trip; the compiler keeps the cheaper path.
-            if shuffle_cycles <= shared_cycles:
-                trace.emit(
-                    InstructionKind.SHUFFLE, count=plan.total_shuffles
-                )
-                return
-        trace.emit(
-            InstructionKind.SHARED_STORE, vector_bits=32, count=regs
-        )
-        trace.emit(InstructionKind.BARRIER)
-        # Inside a full kernel the indices are loaded well before the
-        # gather, so the addresses are ready and the loads pipeline
-        # (unlike the standalone microbenchmark of Figure 8); only the
-        # ~2-way random bank conflicts remain.
-        trace.emit(
-            InstructionKind.SHARED_LOAD,
-            vector_bits=32,
-            count=regs,
-            wavefronts=2,
-        )

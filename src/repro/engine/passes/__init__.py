@@ -1,0 +1,32 @@
+"""The discrete passes of the layout-engine pipeline.
+
+Each module holds one pass; :func:`repro.engine.pipeline.standard_passes`
+assembles the stock pipelines.  See ``docs/ARCHITECTURE.md`` for the
+pass contract and diagnostics schema.
+"""
+
+from repro.engine.passes.anchor_selection import (
+    AnchorCatalog,
+    AnchorSelection,
+    balanced_warps,
+)
+from repro.engine.passes.cost_summary import CostSummary
+from repro.engine.passes.forward_propagation import (
+    ForwardPropagation,
+    LegacyPropagationPolicy,
+    LinearPropagationPolicy,
+)
+from repro.engine.passes.lower import LowerToPlans
+from repro.engine.passes.remat import BackwardRematerialization
+
+__all__ = [
+    "AnchorCatalog",
+    "AnchorSelection",
+    "BackwardRematerialization",
+    "CostSummary",
+    "ForwardPropagation",
+    "LegacyPropagationPolicy",
+    "LinearPropagationPolicy",
+    "LowerToPlans",
+    "balanced_warps",
+]

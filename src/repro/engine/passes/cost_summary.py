@@ -1,0 +1,35 @@
+"""Cost summary: price the finished trace and record the bill.
+
+The final pipeline stage.  It adds no instructions — pricing of
+individual ops happened during lowering — but totals the trace under
+the platform's :class:`~repro.hardware.cost.CostModel` and records
+the per-kind cycle breakdown in its diagnostics, giving every
+compilation a built-in profile ("80% of cycles are shared_load")
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+from repro.engine.pipeline import CompilationContext, Pass, PassDiagnostics
+
+
+class CostSummary(Pass):
+    """Total simulated cycles plus a per-kind cycle breakdown."""
+
+    name = "cost-summary"
+
+    def run(self, ctx: CompilationContext, diag: PassDiagnostics) -> None:
+        if ctx.trace is None:
+            raise ValueError(
+                "cost-summary requires a lowered trace; run LowerToPlans "
+                "(or a pass that sets ctx.trace) first"
+            )
+        ctx.cycles = ctx.cost.trace_cycles(ctx.trace)
+        diag.bump("cycles", ctx.cycles)
+        diag.bump("instructions", len(ctx.trace.instructions))
+        diag.bump("conversions", len(ctx.conversions))
+        for kind, cycles in sorted(ctx.cost.trace_breakdown(ctx.trace).items()):
+            diag.bump(f"cycles[{kind}]", cycles)
+
+
+__all__ = ["CostSummary"]

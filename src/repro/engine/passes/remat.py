@@ -1,0 +1,110 @@
+"""Backward rematerialization (the backward pass of Section 4.4).
+
+"In the backward pass, layout conversions are rematerialized in
+reverse through the definition chain.  If the instructions along the
+chain are inexpensive, the entire operation chain may be
+rematerialized to eliminate layout conversions."  The chains handled
+are single-use loads, optionally followed by single-use single-input
+elementwise ops; the rewrite is taken only when the priced
+alternative is no worse — priced by the same
+:class:`~repro.gpusim.opcost.OpCostModel` the lowering pass charges
+with, so the decision and the bill can never disagree.
+
+The pass is idempotent: it runs to a fixed point, so a second run
+finds no eliminable conversions (``tests/test_pipeline.py`` holds
+that line).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.ir import Graph, Op, OpKind
+from repro.engine.pipeline import CompilationContext, Pass, PassDiagnostics
+
+
+class BackwardRematerialization(Pass):
+    """Eliminate conversions whose producer chain can be cheaply
+    re-anchored in the destination layout."""
+
+    name = "backward-remat"
+
+    def __init__(self, require_descriptor: bool = False):
+        #: Legacy can only re-anchor layouts it can name, so its
+        #: pipeline constructs this pass with ``require_descriptor``.
+        self.require_descriptor = require_descriptor
+
+    def run(self, ctx: CompilationContext, diag: PassDiagnostics) -> None:
+        graph = ctx.graph
+        cost = ctx.cost
+        changed = True
+        while changed:
+            changed = False
+            diag.bump("rounds")
+            for convert in list(graph.ops):
+                if convert.kind != OpKind.CONVERT_LAYOUT:
+                    continue
+                if convert.output is None or convert.output.layout is None:
+                    continue
+                chain = self._remat_chain(graph, convert)
+                if chain is None:
+                    continue
+                load, middles = chain
+                dst_layout = convert.output.layout
+                dst_desc = convert.output.descriptor
+                if self.require_descriptor and dst_desc is None:
+                    continue  # legacy can only anchor layouts it names
+                old_cost = cost.global_cycles(
+                    load.output.layout,
+                    load.output.descriptor,
+                    load.output.shape,
+                    load.output.dtype,
+                ) + cost.conversion_cycles(
+                    convert.inputs[0].layout,
+                    dst_layout,
+                    convert.inputs[0].dtype,
+                )
+                new_cost = cost.global_cycles(
+                    dst_layout,
+                    dst_desc,
+                    load.output.shape,
+                    load.output.dtype,
+                )
+                if new_cost > old_cost:
+                    diag.bump("chains_rejected_by_cost")
+                    continue
+                # Re-anchor the chain and delete the conversion.
+                load.output.layout = dst_layout
+                load.output.descriptor = dst_desc
+                for mid in middles:
+                    mid.output.layout = dst_layout
+                    mid.output.descriptor = dst_desc
+                replaced = convert.output
+                for op in graph.ops:
+                    op.inputs = [convert.inputs[0] if v is replaced else v for v in op.inputs]
+                graph.ops.remove(convert)
+                diag.bump("conversions_eliminated")
+                changed = True
+
+    @staticmethod
+    def _remat_chain(graph: Graph, convert: Op) -> Optional[Tuple[Op, List[Op]]]:
+        """(load, intermediate elementwise ops) feeding a conversion,
+        or None when the chain is not rematerializable."""
+        middles: List[Op] = []
+        current = convert.inputs[0]
+        while True:
+            if len(graph.users_of(current)) != 1:
+                return None
+            producer = current.producer
+            if producer is None:
+                return None
+            if producer.kind == OpKind.LOAD:
+                return producer, middles
+            if producer.kind == OpKind.ELEMENTWISE and len(producer.inputs) == 1:
+                middles.append(producer)
+                current = producer.inputs[0]
+                continue
+            return None
+
+
+__all__ = ["BackwardRematerialization"]

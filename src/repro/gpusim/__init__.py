@@ -9,6 +9,13 @@ reproduce the paper's speedup shapes.
 """
 
 from repro.gpusim.memory import SharedMemory
+from repro.gpusim.opcost import (
+    CostPolicy,
+    OpCostModel,
+    kernel_cycles,
+    op_cost_model,
+    policy_for_mode,
+)
 from repro.gpusim.registers import (
     RegisterFile,
     distributed_data,
@@ -18,10 +25,15 @@ from repro.gpusim.trace import Trace
 from repro.gpusim.machine import Machine
 
 __all__ = [
+    "CostPolicy",
     "Machine",
+    "OpCostModel",
     "RegisterFile",
     "SharedMemory",
     "Trace",
     "distributed_data",
     "expected_data",
+    "kernel_cycles",
+    "op_cost_model",
+    "policy_for_mode",
 ]

@@ -1,0 +1,352 @@
+"""The unified op-level cost model: whole IR ops -> priced instructions.
+
+:class:`repro.hardware.cost.CostModel` prices individual instruction
+records; this module is the layer above it — the single authority that
+decides *which* instructions an IR operation turns into (loads, dots,
+reductions, scans, gathers, staged conversions) and what they cost.
+Both the lowering pass (:mod:`repro.engine.passes.lower`) and the
+autotuner (:mod:`repro.engine.autotune`) consume this interface, so
+there is exactly one place where op pricing lives.
+
+Mode differences (legacy vs linear) are declarative: a frozen
+:class:`CostPolicy` captures every knob the two engine modes disagree
+on — conversion planning options, descriptor-based vectorization, the
+shuffle-gather path, broadcast deduplication — instead of ``if mode``
+branches scattered through the pricing code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro import cache as _cache
+from repro.codegen.conversion import plan_conversion
+from repro.codegen.gather import can_gather_with_shuffles, plan_gather
+from repro.codegen.plan import ConversionPlan
+from repro.codegen.vectorize import legacy_vector_width_bits, vector_width_bits
+from repro.core.dims import LANE, REGISTER, WARP
+from repro.core.layout import LinearLayout
+from repro.gpusim.pricing import price_plan
+from repro.gpusim.trace import Trace
+from repro.hardware.cost import CostModel
+from repro.hardware.instructions import Instruction, InstructionKind
+from repro.hardware.spec import GpuSpec
+from repro.layouts.blocked import BlockedLayout
+from repro.layouts.mfma import AmdMfmaLayout
+from repro.layouts.wgmma import WgmmaLayout
+from repro.mxfp.types import DType
+
+
+@dataclass(frozen=True)
+class CostPolicy:
+    """Every pricing decision the two engine modes make differently.
+
+    ``mode`` tags cache keys (and names the policy); the remaining
+    fields are the actual decisions, so pricing code never asks "am I
+    legacy?" — it asks for the decision it needs.
+    """
+
+    mode: str
+    #: Conversion planner options (see :func:`plan_conversion`).
+    allow_shuffle: bool
+    swizzle_mode: str
+    dedupe_broadcast: bool
+    #: Use the descriptor-based legacy vector width for blocked layouts.
+    descriptor_vectorize: bool
+    #: Lower gathers through warp shuffles when the index pattern allows.
+    gather_via_shuffles: bool
+
+
+LINEAR_POLICY = CostPolicy(
+    mode="linear",
+    allow_shuffle=True,
+    swizzle_mode="optimal",
+    dedupe_broadcast=True,
+    descriptor_vectorize=False,
+    gather_via_shuffles=True,
+)
+
+LEGACY_POLICY = CostPolicy(
+    mode="legacy",
+    allow_shuffle=False,
+    swizzle_mode="padded",
+    dedupe_broadcast=False,
+    descriptor_vectorize=True,
+    gather_via_shuffles=False,
+)
+
+
+def policy_for_mode(mode: str) -> CostPolicy:
+    """The pricing policy of an engine mode."""
+    if mode == "linear":
+        return LINEAR_POLICY
+    if mode == "legacy":
+        return LEGACY_POLICY
+    raise ValueError(f"mode must be linear or legacy: {mode!r}")
+
+
+class OpCostModel:
+    """Prices whole IR operations on one platform under one policy.
+
+    Emission methods (``price_*``) append instruction records to a
+    :class:`Trace`; query methods (``global_cycles``,
+    ``conversion_cycles``) return cycle counts for what-if comparisons
+    — the rematerialization pass uses those to decide whether a
+    rewrite pays off, guaranteeing it prices alternatives with exactly
+    the model the lowering pass will charge.
+    """
+
+    def __init__(self, spec: GpuSpec, policy: CostPolicy):
+        self.spec = spec
+        self.policy = policy
+        self.instruction_model = CostModel(spec)
+
+    @property
+    def mode(self) -> str:
+        """The engine mode this model prices for."""
+        return self.policy.mode
+
+    # ------------------------------------------------------------------
+    # Trace-level pricing (shared with the autotuner)
+    # ------------------------------------------------------------------
+    def trace_cycles(self, trace: Trace) -> float:
+        """Total cycles of an instruction trace."""
+        return self.instruction_model.total_cycles(trace.instructions)
+
+    def trace_breakdown(self, trace: Trace) -> Dict[str, float]:
+        """Cycles attributed to each instruction kind."""
+        return self.instruction_model.breakdown(trace.instructions)
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+    def vector_bits(self, layout, desc, shape, bits: int) -> int:
+        """Vector access width of a global load/store of ``layout``."""
+        if self.policy.descriptor_vectorize and isinstance(desc, BlockedLayout):
+            return legacy_vector_width_bits(desc, shape, bits, self.spec.max_vector_bits)
+        return vector_width_bits(layout, bits, self.spec.max_vector_bits)
+
+    def price_global(self, value, trace: Trace, kind: InstructionKind) -> None:
+        """Emit the global load/store instructions of one value."""
+        vec = self.vector_bits(value.layout, value.descriptor, value.shape, value.dtype.bits)
+        regs = value.layout.in_dim_size(REGISTER)
+        count = max(1, regs * value.dtype.bits // vec)
+        trace.emit(kind, vector_bits=vec, count=count)
+
+    def global_cycles(self, layout, desc, shape, dtype) -> float:
+        """Cycles of a global access without emitting it (memoized)."""
+
+        def compute() -> float:
+            vec = self.vector_bits(layout, desc, shape, dtype.bits)
+            regs = layout.in_dim_size(REGISTER)
+            count = max(1, regs * dtype.bits // vec)
+            inst = Instruction(InstructionKind.GLOBAL_LOAD, vector_bits=vec, count=count)
+            return self.instruction_model.instruction_cycles(inst)
+
+        return _cache.cached(
+            _cache.engine,
+            (
+                "cost",
+                "global_cycles",
+                self.policy.mode,
+                layout.canonical_key(),
+                None if desc is None else repr(desc),
+                tuple(shape),
+                dtype.bits,
+                self.spec,
+            ),
+            compute,
+        )
+
+    # ------------------------------------------------------------------
+    # Layout conversions
+    # ------------------------------------------------------------------
+    def plan(self, src: LinearLayout, dst: LinearLayout, dtype: DType) -> ConversionPlan:
+        """Lower one conversion under this policy's planner options."""
+        return plan_conversion(
+            src,
+            dst,
+            elem_bits=dtype.bits,
+            spec=self.spec,
+            allow_shuffle=self.policy.allow_shuffle,
+            swizzle_mode=self.policy.swizzle_mode,
+            dedupe_broadcast=self.policy.dedupe_broadcast,
+        )
+
+    def priced_conversion(
+        self, src: LinearLayout, dst: LinearLayout, dtype: DType
+    ) -> Tuple[ConversionPlan, Tuple[Instruction, ...], float]:
+        """(plan, priced instructions, cycles) of one conversion.
+
+        The warm-path workhorse: repeated compilations of the same
+        graph hit this cache and skip planning *and* pricing.  The
+        instruction tuple is extended into each compilation's trace;
+        instructions are frozen, so sharing is safe.
+        """
+
+        def make() -> Tuple[ConversionPlan, Tuple[Instruction, ...], float]:
+            plan = self.plan(src, dst, dtype)
+            priced = price_plan(plan, self.spec)
+            return plan, tuple(priced.instructions), priced.cycles()
+
+        return _cache.cached(
+            _cache.engine,
+            (
+                "cost",
+                "priced_conversion",
+                src.canonical_key(),
+                dst.canonical_key(),
+                dtype.bits,
+                self.policy.mode,
+                self.spec,
+            ),
+            make,
+        )
+
+    def conversion_cycles(self, src: LinearLayout, dst: LinearLayout, dtype: DType) -> float:
+        """Cycles of converting ``src`` to ``dst`` (memoized)."""
+        return self.priced_conversion(src, dst, dtype)[2]
+
+    # ------------------------------------------------------------------
+    # Compute & cross-lane ops
+    # ------------------------------------------------------------------
+    def price_elementwise(self, op, trace: Trace) -> None:
+        """One ALU instruction per register of the output layout."""
+        layout = op.output.layout
+        trace.emit(InstructionKind.ALU, count=max(1, layout.in_dim_size(REGISTER)))
+
+    def price_local_store(self, op, trace: Trace) -> None:
+        """Staging a dot operand into shared memory (wgmma/mfma B)."""
+        operand = op.inputs[0]
+        elems = operand.layout.in_dim_size(REGISTER) if operand.layout else 1
+        trace.emit(
+            InstructionKind.SHARED_STORE,
+            vector_bits=128,
+            count=max(1, elems * operand.dtype.bits // 128),
+        )
+
+    def price_dot(self, op, trace: Trace) -> None:
+        """MMA instructions per warp for the dot's tile shape."""
+        parent = op.output.descriptor
+        m, n = op.output.shape
+        k = op.inputs[0].shape[1]
+        if isinstance(parent, WgmmaLayout):
+            tile = (64, parent.instr_n, 16)
+            weight = max(1, int(parent.instr_n / 2 / 1.3))
+        elif isinstance(parent, AmdMfmaLayout):
+            tile = (32, 32, 8)
+            weight = 3
+        else:
+            tile = (16, 8, 16)
+            weight = 1
+        per_warp = (
+            max(1, m // (tile[0] * parent.warps_per_cta[0]))
+            * max(1, n // (tile[1] * parent.warps_per_cta[1]))
+            * max(1, k // tile[2])
+        )
+        trace.emit(InstructionKind.MMA, count=per_warp, wavefronts=weight)
+
+    def price_reduce(self, op, trace: Trace) -> None:
+        """In-register tree, butterfly shuffles, shared combine."""
+        value = op.inputs[0]
+        axis = op.attrs["axis"]
+        layout = value.layout
+        lane_bits = sum(1 for img in layout.bases.get(LANE, []) if img[axis] != 0)
+        warp_bits = sum(1 for img in layout.bases.get(WARP, []) if img[axis] != 0)
+        reg_bits = sum(1 for img in layout.bases.get(REGISTER, []) if img[axis] != 0)
+        trace.emit(InstructionKind.ALU, count=max(1, 1 << reg_bits))
+        trace.emit(InstructionKind.SHUFFLE, count=lane_bits)
+        if warp_bits:
+            # Cross-warp combine through shared memory.
+            out_layout = op.output.layout
+            from repro.codegen.broadcast import reduction_store_count
+
+            stores = reduction_store_count(out_layout, self.policy.dedupe_broadcast)
+            lanes = max(1, out_layout.in_dim_size(LANE))
+            warps = max(1, out_layout.in_dim_size(WARP))
+            per_thread = max(1, stores // (lanes * warps))
+            trace.emit(InstructionKind.SHARED_STORE, vector_bits=32, count=per_thread)
+            trace.emit(InstructionKind.BARRIER)
+            trace.emit(
+                InstructionKind.SHARED_LOAD,
+                vector_bits=32,
+                count=per_thread * (1 << warp_bits),
+            )
+            trace.emit(InstructionKind.ALU, count=1 << warp_bits)
+
+    def price_scan(self, op, trace: Trace) -> None:
+        """Hillis-Steele within the warp, shared combine across warps."""
+        layout = op.inputs[0].layout
+        axis = op.attrs["axis"]
+        regs = layout.in_dim_size(REGISTER)
+        lane_bits = sum(1 for img in layout.bases.get(LANE, []) if img[axis] != 0)
+        warp_bits = sum(1 for img in layout.bases.get(WARP, []) if img[axis] != 0)
+        trace.emit(InstructionKind.ALU, count=max(1, regs))
+        trace.emit(InstructionKind.SHUFFLE, count=lane_bits * max(1, regs))
+        if warp_bits:
+            trace.emit(InstructionKind.SHARED_STORE, vector_bits=32, count=1)
+            trace.emit(InstructionKind.BARRIER)
+            trace.emit(
+                InstructionKind.SHARED_LOAD,
+                vector_bits=32,
+                count=1 << warp_bits,
+            )
+            trace.emit(InstructionKind.ALU, count=max(1, regs))
+
+    def price_gather(self, op, trace: Trace) -> None:
+        """Shuffle-based gather when profitable, else a shared round trip."""
+        src = op.inputs[0]
+        axis = op.attrs["axis"]
+        layout = src.layout
+        regs = layout.in_dim_size(REGISTER)
+        if self.policy.gather_via_shuffles and can_gather_with_shuffles(layout, axis):
+            plan = plan_gather(layout, axis)
+            shuffle_cycles = plan.total_shuffles * self.spec.shuffle_cycles
+            shared_cycles = (
+                regs * (self.spec.issue_cycles + 2)
+                + self.spec.barrier_cycles
+                + regs * (self.spec.issue_cycles + 4)
+            )
+            # Past the Figure 8 crossover the rounds outgrow the
+            # shared round trip; the compiler keeps the cheaper path.
+            if shuffle_cycles <= shared_cycles:
+                trace.emit(InstructionKind.SHUFFLE, count=plan.total_shuffles)
+                return
+        trace.emit(InstructionKind.SHARED_STORE, vector_bits=32, count=regs)
+        trace.emit(InstructionKind.BARRIER)
+        # Inside a full kernel the indices are loaded well before the
+        # gather, so the addresses are ready and the loads pipeline
+        # (unlike the standalone microbenchmark of Figure 8); only the
+        # ~2-way random bank conflicts remain.
+        trace.emit(
+            InstructionKind.SHARED_LOAD,
+            vector_bits=32,
+            count=regs,
+            wavefronts=2,
+        )
+
+
+def kernel_cycles(instructions: Iterable[Instruction], spec: GpuSpec) -> float:
+    """Total cycles of an instruction stream on ``spec``.
+
+    The one-call form of the pricing authority for consumers that
+    hold a finished trace (the autotuner, report generators).
+    """
+    return CostModel(spec).total_cycles(instructions)
+
+
+def op_cost_model(spec: GpuSpec, mode: str) -> OpCostModel:
+    """The op cost model of an engine mode on a platform."""
+    return OpCostModel(spec, policy_for_mode(mode))
+
+
+__all__ = [
+    "CostPolicy",
+    "LEGACY_POLICY",
+    "LINEAR_POLICY",
+    "OpCostModel",
+    "kernel_cycles",
+    "op_cost_model",
+    "policy_for_mode",
+]

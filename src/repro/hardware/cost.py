@@ -74,3 +74,18 @@ class CostModel:
         for inst in instructions:
             out[inst.kind.value] = out.get(inst.kind.value, 0) + inst.count
         return out
+
+    def breakdown(
+        self, instructions: Iterable[Instruction]
+    ) -> Dict[str, float]:
+        """Cycles attributed to each instruction kind.
+
+        The observability face of the model: per-kind totals feed the
+        pipeline's cost-summary diagnostics, so a regression shows up
+        as "shared_load cycles doubled" rather than a bare number.
+        """
+        out: Dict[str, float] = {}
+        for inst in instructions:
+            cycles = self.instruction_cycles(inst)
+            out[inst.kind.value] = out.get(inst.kind.value, 0.0) + cycles
+        return out

@@ -122,9 +122,11 @@ class TestFailureModes:
         from repro.layouts import MmaOperandLayout, NvidiaMmaLayout
         from repro.layouts.legacy import LegacyLayoutSystem
 
+        from repro.engine.passes import AnchorCatalog
+
         legacy = LegacyLayoutSystem()
         operand = MmaOperandLayout(NvidiaMmaLayout((2, 2)), 0, 2)
-        blocked_anchor = LayoutEngine(RTX4090, "legacy")._blocked_anchor(
+        blocked_anchor = AnchorCatalog(RTX4090, 4).blocked_anchor(
             (64, 64), F16
         )[0]
         with pytest.raises(LegacyUnsupportedError):

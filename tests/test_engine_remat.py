@@ -66,7 +66,9 @@ class TestRematerialization:
         assert isinstance(a_load.output.descriptor, BlockedLayout)
 
     def test_remat_never_increases_cost(self):
-        """Compare against an engine with remat disabled."""
+        """Compare against a pipeline without the remat pass."""
+        from repro.engine import PassManager, standard_passes
+
         def build():
             kb = KernelBuilder()
             a = kb.load((64, 64), F16)
@@ -77,9 +79,11 @@ class TestRematerialization:
         engine = LayoutEngine(RTX4090, "linear")
         with_remat = engine.compile(build().graph)
 
-        engine2 = LayoutEngine(RTX4090, "linear")
-        engine2._rematerialize = lambda graph: None
-        without = engine2.compile(build().graph)
+        no_remat = PassManager(
+            [p for p in standard_passes("linear")
+             if p.name != "backward-remat"]
+        )
+        without = engine.compile(build().graph, passes=no_remat)
         assert with_remat.cycles() <= without.cycles()
 
     def test_numerics_preserved_through_remat(self):

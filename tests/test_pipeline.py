@@ -1,0 +1,264 @@
+"""Pass-pipeline invariants: equivalence, idempotence, diagnostics.
+
+The refactor contract (ISSUE 2): the pass-based pipeline must produce
+bit-identical simulated cycles and op counts to the pre-refactor
+monolithic engine — held by a checked-in golden file generated from
+the pre-refactor ``LayoutEngine`` — and the individual passes must
+satisfy their documented invariants (remat is idempotent and never
+increases priced cycles; diagnostics are recorded for every pass).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import (
+    CompilationContext,
+    KernelBuilder,
+    LayoutEngine,
+    PassManager,
+    compile as compile_graph,
+    standard_passes,
+)
+from repro.engine.ir import OpKind
+from repro.engine.passes import AnchorCatalog, balanced_warps
+from repro.engine.pipeline import Pass, PassDiagnostics
+from repro.hardware.spec import PLATFORMS, RTX4090
+from repro.kernels import KERNELS
+from repro.mxfp import F16
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__),
+    "..",
+    "benchmarks",
+    "golden",
+    "pipeline_equivalence.json",
+)
+
+with open(GOLDEN_PATH) as fh:
+    GOLDEN = json.load(fh)["records"]
+
+#: A representative slice for the per-pass invariant tests (the full
+#: golden sweep below covers every kernel).
+INVARIANT_KERNELS = ["gemm", "softmax", "welford", "rope", "flex_attention"]
+
+
+def _compile_golden_case(rec):
+    model = KERNELS[rec["kernel"]]
+    case = model.cases[0]
+    kb = model.build(**case.kwargs())
+    return compile_graph(
+        kb.graph, spec=PLATFORMS[rec["platform"]], mode=rec["mode"]
+    )
+
+
+class TestGoldenEquivalence:
+    """The pipeline reproduces the pre-refactor engine bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "rec",
+        GOLDEN,
+        ids=lambda r: f"{r['kernel']}-{r['platform']}-{r['mode']}",
+    )
+    def test_cycles_and_op_counts_match(self, rec):
+        compiled = _compile_golden_case(rec)
+        assert compiled.ok == rec["ok"]
+        if rec["ok"]:
+            assert compiled.cycles() == rec["cycles"]
+            assert compiled.op_counts() == rec["op_counts"]
+
+    def test_golden_covers_every_kernel_in_both_modes(self):
+        kernels = {rec["kernel"] for rec in GOLDEN}
+        assert kernels == set(KERNELS)
+        modes = {rec["mode"] for rec in GOLDEN}
+        assert modes == {"linear", "legacy"}
+
+
+class TestFacadeAndPublicApi:
+    def test_compile_function_matches_engine_facade(self):
+        model = KERNELS["gemm"]
+        kb1 = model.build(**model.cases[0].kwargs())
+        kb2 = model.build(**model.cases[0].kwargs())
+        via_fn = compile_graph(kb1.graph, spec=RTX4090, mode="linear")
+        via_engine = LayoutEngine(RTX4090, "linear").compile(kb2.graph)
+        assert via_fn.cycles() == via_engine.cycles()
+        assert via_fn.op_counts() == via_engine.op_counts()
+
+    def test_custom_pipeline_is_accepted(self):
+        kb = KernelBuilder()
+        a = kb.load((64, 64), F16)
+        b = kb.load((64, 64), F16)
+        kb.store(kb.dot(a, b))
+        manager = PassManager(standard_passes("linear"))
+        compiled = compile_graph(kb.graph, passes=manager)
+        assert compiled.ok and compiled.cycles() > 0
+
+    def test_standard_passes_mode_split_is_declarative(self):
+        linear = standard_passes("linear")
+        legacy = standard_passes("legacy")
+        assert [p.name for p in linear] == [p.name for p in legacy]
+        # Same shape, different policies: the remat guard flips.
+        lin_remat = next(p for p in linear if p.name == "backward-remat")
+        leg_remat = next(p for p in legacy if p.name == "backward-remat")
+        assert not lin_remat.require_descriptor
+        assert leg_remat.require_descriptor
+        with pytest.raises(ValueError):
+            standard_passes("turbo")
+
+
+def _run_prefix(mode, graph, upto):
+    """Run the standard pipeline through the pass named ``upto``."""
+    passes = standard_passes(mode)
+    names = [p.name for p in passes]
+    prefix = passes[: names.index(upto) + 1]
+    ctx = CompilationContext.create(graph, RTX4090, mode)
+    PassManager(prefix).run(ctx)
+    return ctx
+
+
+@pytest.mark.parametrize("mode", ["linear", "legacy"])
+@pytest.mark.parametrize("kernel", INVARIANT_KERNELS)
+class TestRematInvariants:
+    def _context_after_remat(self, kernel, mode):
+        model = KERNELS[kernel]
+        kb = model.build(**model.cases[0].kwargs())
+        try:
+            return _run_prefix(mode, kb.graph, "backward-remat")
+        except Exception:
+            pytest.skip(f"{kernel} does not compile in {mode} mode")
+
+    def test_remat_is_idempotent(self, kernel, mode):
+        """A second remat run finds nothing to eliminate."""
+        ctx = self._context_after_remat(kernel, mode)
+        ops_after_first = list(ctx.graph.ops)
+        remat = next(
+            p for p in standard_passes(mode) if p.name == "backward-remat"
+        )
+        diag = PassDiagnostics(name="backward-remat-again")
+        remat.run(ctx, diag)
+        assert len(ctx.graph.ops) == len(ops_after_first)
+        assert all(
+            a is b for a, b in zip(ctx.graph.ops, ops_after_first)
+        )
+        assert diag.counters.get("conversions_eliminated", 0) == 0
+
+    def test_remat_never_increases_priced_cycles(self, kernel, mode):
+        """The remat pass only takes rewrites the cost model approves."""
+        model = KERNELS[kernel]
+        with_remat = PassManager(standard_passes(mode))
+        without_remat = PassManager(
+            [p for p in standard_passes(mode)
+             if p.name != "backward-remat"]
+        )
+        kb1 = model.build(**model.cases[0].kwargs())
+        kb2 = model.build(**model.cases[0].kwargs())
+        full = LayoutEngine(RTX4090, mode).compile(kb1.graph, with_remat)
+        bare = LayoutEngine(RTX4090, mode).compile(kb2.graph, without_remat)
+        if not (full.ok and bare.ok):
+            pytest.skip(f"{kernel} does not compile in {mode} mode")
+        assert full.cycles() <= bare.cycles()
+        assert (
+            full.graph.count(OpKind.CONVERT_LAYOUT)
+            <= bare.graph.count(OpKind.CONVERT_LAYOUT)
+        )
+
+
+class TestDiagnostics:
+    def _compiled_gemm(self):
+        model = KERNELS["gemm"]
+        kb = model.build(**model.cases[0].kwargs())
+        return compile_graph(kb.graph)
+
+    def test_every_pass_leaves_a_record(self):
+        compiled = self._compiled_gemm()
+        names = [diag.name for diag in compiled.diagnostics]
+        assert names == [
+            "anchor-selection",
+            "forward-propagation",
+            "backward-remat",
+            "lower-to-plans",
+            "cost-summary",
+        ]
+        for diag in compiled.diagnostics:
+            assert diag.wall_time_ms >= 0.0
+
+    def test_counters_follow_the_documented_schema(self):
+        compiled = self._compiled_gemm()
+        by_name = {d.name: d for d in compiled.diagnostics}
+        assert by_name["anchor-selection"].counters["anchors_assigned"] > 0
+        forward = by_name["forward-propagation"].counters
+        assert forward["conversions_inserted"] > 0
+        lower = by_name["lower-to-plans"].counters
+        assert lower["ops_lowered"] == len(compiled.graph.ops)
+        summary = by_name["cost-summary"].counters
+        assert summary["cycles"] == compiled.cycles()
+
+    def test_pass_diagnostics_are_json_serializable(self):
+        compiled = self._compiled_gemm()
+        payload = json.dumps(compiled.pass_diagnostics())
+        records = json.loads(payload)
+        assert len(records) == len(compiled.diagnostics)
+        assert all("wall_time_ms" in rec for rec in records)
+
+    def test_describe_passes_mentions_every_pass(self):
+        compiled = self._compiled_gemm()
+        text = compiled.describe_passes()
+        for diag in compiled.diagnostics:
+            assert diag.name in text
+
+    def test_failed_compilation_keeps_partial_diagnostics(self):
+        class Boom(Pass):
+            name = "boom"
+
+            def run(self, ctx, diag):
+                from repro.core.errors import LegacyUnsupportedError
+
+                raise LegacyUnsupportedError("synthetic failure")
+
+        kb = KernelBuilder()
+        kb.store(kb.load((32, 32), F16))
+        compiled = LayoutEngine(RTX4090, "linear").compile(
+            kb.graph, PassManager([Boom()])
+        )
+        assert not compiled.ok
+        assert compiled.diagnostics[0].name == "boom"
+        assert any(
+            "LegacyUnsupportedError" in note
+            for note in compiled.diagnostics[0].notes
+        )
+
+    def test_cost_summary_requires_a_trace(self):
+        from repro.engine.passes import CostSummary
+
+        kb = KernelBuilder()
+        kb.store(kb.load((32, 32), F16))
+        ctx = CompilationContext.create(kb.graph, RTX4090, "linear")
+        with pytest.raises(ValueError, match="lowered trace"):
+            CostSummary().run(ctx, PassDiagnostics(name="cost-summary"))
+
+
+class TestAnchorSelection:
+    def test_balanced_warps_prefers_longer_dimension(self):
+        assert balanced_warps(4, 128, 32, 16, 8) == (4, 1)
+        wm, wn = balanced_warps(4, 64, 64, 16, 8)
+        assert wm * wn == 4
+
+    def test_catalog_memoizes_blocked_anchors(self):
+        catalog = AnchorCatalog(RTX4090, 4)
+        first = catalog.blocked_anchor((64, 64), F16)
+        again = catalog.blocked_anchor((64, 64), F16)
+        assert first[1] is again[1]
+
+    def test_anchor_pass_assigns_every_load(self):
+        ctx = _run_prefix(
+            "linear",
+            KERNELS["gemm"]
+            .build(**KERNELS["gemm"].cases[0].kwargs())
+            .graph,
+            "anchor-selection",
+        )
+        loads = [op for op in ctx.graph.ops if op.kind == OpKind.LOAD]
+        assert loads and all(
+            op.output.layout is not None for op in loads
+        )
