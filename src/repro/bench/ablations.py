@@ -21,7 +21,7 @@ from typing import List
 
 from repro.bench.harness import Table
 from repro.codegen.conversion import plan_conversion
-from repro.gpusim.pricing import price_plan
+from repro.gpusim.opcost import price_plan
 from repro.hardware.spec import GH200
 from repro.layouts import (
     BlockedLayout,

@@ -13,7 +13,7 @@ from typing import List, Tuple
 
 from repro.bench.harness import Table
 from repro.codegen.conversion import plan_conversion
-from repro.gpusim.pricing import price_plan
+from repro.gpusim.opcost import price_plan
 from repro.hardware.spec import GH200, GpuSpec
 from repro.layouts.blocked import BlockedLayout
 from repro.mxfp.types import F16, F32, F8E5M2, DType

@@ -1,0 +1,128 @@
+"""Simulator throughput: vectorized vs scalar program interpreter.
+
+The warp-program IR has two interpreters (``repro.program.interp``):
+the per-lane scalar oracle and the NumPy-vectorized default.  This
+benchmark replays the Figure 7 conversion suite — both the shuffle
+plans and the legacy shared-memory plans — through both backends and
+reports plans executed per second.  The vectorized path is the one the
+engine ships; the scalar path exists for differential testing, so the
+ratio here is the price of keeping the oracle honest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.bench.harness import Table
+from repro.codegen.conversion import plan_conversion
+from repro.codegen.plan import ConversionPlan
+from repro.gpusim.machine import Machine
+from repro.gpusim.registers import RegisterFile, distributed_data
+from repro.hardware.spec import GH200, GpuSpec
+from repro.layouts.blocked import BlockedLayout
+from repro.mxfp.types import F16, F32, F8E5M2
+
+NUM_WARPS = 4
+
+
+def fig7_conversion_suite(
+    sizes: Tuple[int, ...] = (32, 64, 128),
+    spec: GpuSpec = GH200,
+) -> List[Tuple[str, ConversionPlan, RegisterFile]]:
+    """The Figure 7 sweep as (label, plan, input registers) cases.
+
+    Each (size, dtype) point contributes both the shuffle plan and the
+    legacy shared-memory plan, so the scalar/vector comparison covers
+    every instruction class the suite can emit.
+    """
+    a_desc = BlockedLayout((1, 2), (8, 4), (2, 2), (1, 0))
+    b_desc = BlockedLayout((2, 1), (4, 8), (2, 2), (1, 0))
+    cases = []
+    for dtype in (F8E5M2, F16, F32):
+        for size in sizes:
+            shape = (size, size)
+            src = a_desc.to_linear(shape)
+            dst = b_desc.to_linear(shape)
+            registers = distributed_data(src, NUM_WARPS, spec.warp_size)
+            shuffle = plan_conversion(
+                src, dst, dtype.bits, spec=spec, allow_shuffle=True
+            )
+            shared = plan_conversion(
+                src, dst, dtype.bits, spec=spec, allow_shuffle=False,
+                swizzle_mode="padded", dedupe_broadcast=False,
+            )
+            stem = f"{size}x{size}/{dtype}"
+            cases.append((f"{stem}/shuffle", shuffle, registers))
+            cases.append((f"{stem}/shared", shared, registers))
+    return cases
+
+
+def _time_backend(
+    machine: Machine,
+    cases: List[Tuple[str, ConversionPlan, RegisterFile]],
+    iters: int,
+) -> float:
+    """Seconds to run every case ``iters`` times on one backend."""
+    # Warm once so compiled index plans (cached on the program) and
+    # layout derivations don't bill the timed region of either backend.
+    for _, plan, registers in cases:
+        machine.run_conversion(plan, registers)
+    start = time.perf_counter()
+    for _ in range(iters):
+        for _, plan, registers in cases:
+            machine.run_conversion(plan, registers)
+    return time.perf_counter() - start
+
+
+def run_sim_throughput(
+    sizes: Tuple[int, ...] = (32, 64, 128),
+    spec: GpuSpec = GH200,
+    iters: int = 3,
+) -> Table:
+    """Plans/sec for scalar vs vectorized interpreters, per case."""
+    cases = fig7_conversion_suite(sizes, spec)
+    scalar = Machine(spec, NUM_WARPS, backend="scalar")
+    vector = Machine(spec, NUM_WARPS, backend="vector")
+    table = Table(
+        title=f"Simulator throughput: scalar vs vectorized ({spec.name})",
+        headers=[
+            "case",
+            "scalar_ms",
+            "vector_ms",
+            "scalar_plans_s",
+            "vector_plans_s",
+            "speedup",
+        ],
+    )
+    total_scalar = 0.0
+    total_vector = 0.0
+    for label, plan, registers in cases:
+        one = [(label, plan, registers)]
+        s = _time_backend(scalar, one, iters)
+        v = _time_backend(vector, one, iters)
+        total_scalar += s
+        total_vector += v
+        table.add_row(
+            label,
+            s * 1e3 / iters,
+            v * 1e3 / iters,
+            iters / s,
+            iters / v,
+            s / v,
+        )
+    runs = iters * len(cases)
+    table.notes.append(
+        f"aggregate: scalar {runs / total_scalar:.1f} plans/s, "
+        f"vectorized {runs / total_vector:.1f} plans/s, "
+        f"speedup {total_scalar / total_vector:.2f}x "
+        f"({len(cases)} plans x {iters} iters, warm caches)"
+    )
+    return table
+
+
+def aggregate_speedup(table: Table) -> float:
+    """Suite-level throughput ratio (total scalar time / vector time)."""
+    scalar = sum(table.column("scalar_ms"))
+    vector = sum(table.column("vector_ms"))
+    return scalar / vector

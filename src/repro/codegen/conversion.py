@@ -451,7 +451,7 @@ def _plan_from_memory_layout(
 
 def _plan_cost(plan: ConversionPlan, spec: GpuSpec) -> float:
     """Price a candidate plan (deferred import: gpusim uses codegen)."""
-    from repro.gpusim.pricing import price_plan
+    from repro.gpusim.opcost import price_plan
 
     return price_plan(plan, spec).cycles()
 

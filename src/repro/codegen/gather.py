@@ -49,6 +49,17 @@ class GatherPlan:
         """Total shuffle instructions for the whole gather."""
         return self.rounds_per_position * self.positions_per_thread
 
+    def to_program(self, layout: LinearLayout):
+        """The gather as a warp program (unified instruction IR).
+
+        The plan holds only the static shape; the program carries the
+        layout so the interpreter can resolve the data-dependent
+        lane/register routing at execution time.
+        """
+        from repro.program.lower import lower_gather_shuffle
+
+        return lower_gather_shuffle(layout, self.axis)
+
 
 def axis_component_bits(layout: LinearLayout, in_dim: str, axis: int) -> int:
     """How many ``in_dim`` basis vectors hit output dim ``axis``."""

@@ -163,6 +163,25 @@ class ConversionPlan:
     steps: List[Step] = field(default_factory=list)
     shared_bytes: int = 0
     notes: List[str] = field(default_factory=list)
+    #: Lazily lowered warp program (see :meth:`program`); derived
+    #: state, never part of plan identity.
+    _program: object = field(default=None, repr=False, compare=False)
+
+    def program(self):
+        """The plan lowered to the unified warp-program IR.
+
+        The plan stays the planner-facing object; everything that
+        executes, prices, or traces consumes this
+        :class:`~repro.program.ir.WarpProgram` instead.  Lowered once
+        and cached on the plan (plans themselves are cached and shared,
+        so the program — and the interpreter scratch it carries — is
+        amortized across compilations).
+        """
+        if self._program is None:
+            from repro.program.lower import lower_plan
+
+            self._program = lower_plan(self)
+        return self._program
 
     def num_shuffle_rounds(self) -> int:
         """How many shuffle rounds the plan contains."""

@@ -60,6 +60,9 @@ class CompiledKernel:
     mode: str
     error: Optional[str] = None
     conversions: List[ConversionPlan] = field(default_factory=list)
+    #: The conversions' lowered warp programs (unified instruction
+    #: IR), parallel to ``conversions``.
+    programs: List[object] = field(default_factory=list)
     #: Per-pass instrumentation, in pipeline order (empty when the
     #: kernel was built by hand rather than compiled).
     diagnostics: List[PassDiagnostics] = field(default_factory=list)
@@ -148,6 +151,7 @@ class LayoutEngine:
                 trace=ctx.trace,
                 mode=self.mode,
                 conversions=ctx.conversions,
+                programs=ctx.programs,
                 diagnostics=ctx.diagnostics,
             )
         except LegacyUnsupportedError as exc:

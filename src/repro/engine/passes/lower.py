@@ -41,8 +41,12 @@ class LowerToPlans(Pass):
                     src.layout, op.output.layout, src.dtype
                 )
                 ctx.conversions.append(plan)
+                ctx.programs.append(plan.program())
                 trace.instructions.extend(instructions)
                 diag.bump("conversions_lowered")
+                diag.bump(
+                    "program_instructions", len(plan.program())
+                )
             elif kind == OpKind.ELEMENTWISE:
                 cost.price_elementwise(op, trace)
             elif kind == OpKind.LOCAL_STORE:

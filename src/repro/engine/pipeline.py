@@ -110,6 +110,9 @@ class CompilationContext:
     trace: Optional[Trace] = None
     #: Lowered conversion plans, populated by the lowering pass.
     conversions: List[ConversionPlan] = field(default_factory=list)
+    #: The plans' warp programs (unified instruction IR), parallel to
+    #: ``conversions``; populated by the lowering pass.
+    programs: List[object] = field(default_factory=list)
     #: Total simulated cycles, populated by the cost-summary pass.
     cycles: Optional[float] = None
     #: One record per executed pass, in execution order.

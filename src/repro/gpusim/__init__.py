@@ -15,6 +15,8 @@ from repro.gpusim.opcost import (
     kernel_cycles,
     op_cost_model,
     policy_for_mode,
+    price_plan,
+    price_program,
 )
 from repro.gpusim.registers import (
     RegisterFile,
@@ -36,4 +38,6 @@ __all__ = [
     "kernel_cycles",
     "op_cost_model",
     "policy_for_mode",
+    "price_plan",
+    "price_program",
 ]

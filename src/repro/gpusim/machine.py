@@ -1,259 +1,87 @@
-"""The simulated machine: executes conversion plans and gathers.
+"""The simulated machine: a generic warp-program interpreter.
 
-Execution is real data movement: values travel through register files,
-shuffle networks and banked shared memory, so a plan that routes a
-single element wrong fails the correctness checks in tests.  At the
-same time every step emits instruction records into a :class:`Trace`
-for the cost model.
+Every plan executes by lowering to the unified instruction IR
+(:mod:`repro.program`) and running the stream through one dispatch
+loop — there are no per-step-class execution methods left here.
+Execution is still real data movement: values travel through register
+files, shuffle networks and banked shared memory, so a plan that
+routes a single element wrong fails the correctness checks in tests,
+and every instruction emits records into a :class:`Trace` for the
+cost model.
 
-Instruction counts follow the static (per-program) convention the
-paper's Tables 4 and 6 use; bank-conflict wavefronts are measured on
-the actual addresses each warp generates.
+Two interpreter backends implement the loop: a NumPy-vectorized one
+(default — whole-warp gather/scatter per instruction) and a scalar
+per-lane oracle used for differential testing.  Select with the
+``backend`` argument or the ``REPRO_SIM`` environment variable; both
+produce bit-identical register files and traces.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
-from repro.core.dims import LANE, REGISTER, WARP
+from repro import cache as _cache
+from repro.codegen.plan import ConversionPlan
 from repro.core.layout import LinearLayout
-from repro.codegen.gather import plan_gather
-from repro.codegen.plan import (
-    Barrier,
-    ConversionPlan,
-    RegisterPermute,
-    SharedLoad,
-    SharedStore,
-    ShuffleRound,
-)
-from repro.codegen.views import DistributedView
-from repro.gpusim.memory import SharedMemory
 from repro.gpusim.registers import RegisterFile
 from repro.gpusim.trace import Trace
-from repro.hardware.instructions import InstructionKind
 from repro.hardware.spec import GpuSpec, RTX4090
+from repro.program.interp import make_interpreter
+from repro.program.ir import R_IDX, R_IN, WarpProgram
+from repro.program.lower import (
+    lower_gather_shared,
+    lower_gather_shuffle,
+)
+
+
+def _default_backend() -> str:
+    return os.environ.get("REPRO_SIM", "vector")
 
 
 class Machine:
-    """Executes lowered plans over simulated hardware."""
+    """Executes warp programs over simulated hardware."""
 
-    def __init__(self, spec: GpuSpec = RTX4090, num_warps: int = 4):
+    def __init__(
+        self,
+        spec: GpuSpec = RTX4090,
+        num_warps: int = 4,
+        backend: Optional[str] = None,
+    ):
         self.spec = spec
         self.num_warps = num_warps
+        self.backend = backend or _default_backend()
+        self._interp = make_interpreter(
+            self.backend, spec, num_warps
+        )
 
     # ------------------------------------------------------------------
-    # Layout conversion
+    # The one execution entry point
+    # ------------------------------------------------------------------
+    def run_program(
+        self,
+        program: WarpProgram,
+        inputs: Dict[str, RegisterFile],
+    ) -> Tuple[Dict[str, RegisterFile], Trace]:
+        """Interpret an instruction stream; returns (spaces, trace)."""
+        return self._interp.run(program, inputs)
+
+    # ------------------------------------------------------------------
+    # Plan-level conveniences (lower, then interpret)
     # ------------------------------------------------------------------
     def run_conversion(
         self, plan: ConversionPlan, src: RegisterFile
     ) -> Tuple[RegisterFile, Trace]:
         """Execute a conversion plan; returns (dst registers, trace)."""
-        trace = Trace(self.spec)
-        if plan.kind == "noop":
-            return src.copy(), trace
-        dst = RegisterFile(src.num_warps, src.warp_size)
-        memory: Optional[SharedMemory] = None
-        current = src
-        shuffled = False
-        for step in plan.steps:
-            if isinstance(step, RegisterPermute):
-                # After shuffle rounds the permute fans received
-                # values out to broadcast replicas; standalone it is
-                # the intra-thread conversion path.
-                base = dst if shuffled else current
-                permuted = self._run_register_permute(step, base, plan)
-                if shuffled:
-                    dst = permuted
-                else:
-                    current = permuted
-            elif isinstance(step, ShuffleRound):
-                shuffled = True
-                self._run_shuffle_round(step, src, dst, plan, trace)
-            elif isinstance(step, SharedStore):
-                memory = SharedMemory(self.spec, step.elem_bytes)
-                self._run_shared_store(step, current, memory, trace)
-            elif isinstance(step, Barrier):
-                trace.emit(InstructionKind.BARRIER)
-            elif isinstance(step, SharedLoad):
-                if memory is None:
-                    raise RuntimeError("SharedLoad before any SharedStore")
-                dst = RegisterFile(src.num_warps, src.warp_size)
-                self._run_shared_load(step, dst, memory, trace)
-            else:
-                raise TypeError(f"unknown plan step {step!r}")
-        if plan.kind == "register":
-            return current, trace
-        if plan.kind == "shuffle":
-            return dst, trace
-        return dst, trace
+        program = plan.program()
+        if not program.instrs:
+            return src.copy(), Trace(self.spec)
+        files, trace = self.run_program(program, {R_IN: src})
+        result = files[program.result]
+        if result is src:
+            result = src.copy()
+        return result, trace
 
-    def _run_register_permute(
-        self,
-        step: RegisterPermute,
-        src: RegisterFile,
-        plan: ConversionPlan,
-    ) -> RegisterFile:
-        # Pure register renaming: free at runtime, so no instructions.
-        dst = RegisterFile(src.num_warps, src.warp_size)
-        lanes = plan.dst.in_dim_size(LANE)
-        warps = plan.dst.in_dim_size(WARP)
-        for w in range(warps):
-            for l in range(lanes):
-                for new_reg, old_reg in enumerate(step.dst_to_src):
-                    dst.write(w, l, new_reg, src.read(w, l, old_reg))
-        return dst
-
-    def _run_shuffle_round(
-        self,
-        step: ShuffleRound,
-        src: RegisterFile,
-        dst: RegisterFile,
-        plan: ConversionPlan,
-        trace: Trace,
-    ) -> None:
-        warps = plan.src.in_dim_size(WARP)
-        for w in range(warps):
-            for l, s_lane in enumerate(step.src_lane):
-                for s_reg, d_reg in zip(
-                    step.send_regs[s_lane], step.recv_regs[l]
-                ):
-                    dst.write(w, l, d_reg, src.read(w, s_lane, s_reg))
-        trace.emit(
-            InstructionKind.SHUFFLE, count=step.insts_per_round
-        )
-
-    def _warp_requests(
-        self,
-        step,
-        warp: int,
-        access_index: int,
-    ) -> List[Tuple[int, int, Tuple[int, int, Tuple[int, ...]]]]:
-        """Collect (lane, base_offset, regs) for one lockstep access."""
-        out = []
-        ws = self.spec.warp_size
-        for lane in range(ws):
-            tid = warp * ws + lane
-            if tid >= len(step.accesses):
-                continue
-            lane_accesses = step.accesses[tid]
-            if access_index < len(lane_accesses):
-                base, regs = lane_accesses[access_index]
-                out.append((lane, base, regs))
-        return out
-
-    def _run_shared_store(
-        self,
-        step: SharedStore,
-        src: RegisterFile,
-        memory: SharedMemory,
-        trace: Trace,
-    ) -> None:
-        ws = self.spec.warp_size
-        max_accesses = max(
-            (len(a) for a in step.accesses), default=0
-        )
-        total_wavefronts = 0
-        vector_bits = 0
-        for k in range(max_accesses):
-            worst = 0
-            for w in range(self.num_warps):
-                requests = self._warp_requests(step, w, k)
-                if not requests:
-                    continue
-                for lane, base, regs in requests:
-                    for j, reg in enumerate(regs):
-                        memory.write(base + j, src.read(w, lane, reg))
-                worst = max(
-                    worst,
-                    memory.wavefronts(
-                        [(base, len(regs)) for _, base, regs in requests],
-                        is_store=True,
-                    ),
-                )
-                vector_bits = max(
-                    vector_bits,
-                    max(len(regs) for _, _, regs in requests)
-                    * step.elem_bytes
-                    * 8,
-                )
-            total_wavefronts += worst
-        if max_accesses:
-            if step.use_stmatrix:
-                self._emit_matrix(
-                    step, trace, InstructionKind.STMATRIX
-                )
-            else:
-                trace.emit(
-                    InstructionKind.SHARED_STORE,
-                    vector_bits=vector_bits,
-                    count=max_accesses,
-                    wavefronts=max(1, total_wavefronts // max_accesses),
-                )
-
-    def _run_shared_load(
-        self,
-        step: SharedLoad,
-        dst: RegisterFile,
-        memory: SharedMemory,
-        trace: Trace,
-    ) -> None:
-        ws = self.spec.warp_size
-        max_accesses = max(
-            (len(a) for a in step.accesses), default=0
-        )
-        total_wavefronts = 0
-        vector_bits = 0
-        for k in range(max_accesses):
-            worst = 0
-            for w in range(self.num_warps):
-                requests = self._warp_requests(step, w, k)
-                if not requests:
-                    continue
-                for lane, base, regs in requests:
-                    for j, reg in enumerate(regs):
-                        dst.write(w, lane, reg, memory.read(base + j))
-                worst = max(
-                    worst,
-                    memory.wavefronts(
-                        [(base, len(regs)) for _, base, regs in requests],
-                        is_store=False,
-                    ),
-                )
-                vector_bits = max(
-                    vector_bits,
-                    max(len(regs) for _, _, regs in requests)
-                    * step.elem_bytes
-                    * 8,
-                )
-            total_wavefronts += worst
-        if max_accesses:
-            if step.use_ldmatrix:
-                self._emit_matrix(step, trace, InstructionKind.LDMATRIX)
-            else:
-                trace.emit(
-                    InstructionKind.SHARED_LOAD,
-                    vector_bits=vector_bits,
-                    count=max_accesses,
-                    wavefronts=max(1, total_wavefronts // max_accesses),
-                )
-
-    def _emit_matrix(self, step, trace: Trace, kind: InstructionKind) -> None:
-        """Instruction accounting for ldmatrix/stmatrix.
-
-        One ``.x4`` instruction moves 16 bytes per lane, conflict-free
-        when the staging layout keeps rows in distinct banks (which the
-        optimal swizzle guarantees).
-        """
-        bytes_per_lane = 0
-        for lane_accesses in step.accesses:
-            total = sum(len(regs) for _, regs in lane_accesses)
-            bytes_per_lane = max(bytes_per_lane, total * step.elem_bytes)
-        insts = max(1, (bytes_per_lane + 15) // 16)
-        trace.emit(kind, vector_bits=128, count=insts, wavefronts=1)
-
-    # ------------------------------------------------------------------
-    # Gather
-    # ------------------------------------------------------------------
     def run_gather_shuffle(
         self,
         layout: LinearLayout,
@@ -264,33 +92,14 @@ class Machine:
         """Warp-shuffle gather (Section 5.5).
 
         ``index`` holds, per slot, the position along ``axis`` to read
-        from; the data-dependent source lane/register is resolved here
-        exactly as the emitted shuffle rounds would.
+        from; the data-dependent source lane/register is resolved by
+        the interpreter exactly as the emitted shuffle rounds would.
         """
-        plan = plan_gather(layout, axis)
-        view = DistributedView(layout)
-        trace = Trace(self.spec)
-        out = RegisterFile(src.num_warps, src.warp_size)
-        regs = layout.in_dim_size(REGISTER)
-        lanes = layout.in_dim_size(LANE)
-        warps = layout.in_dim_size(WARP)
-        names = list(layout.out_dims)
-        axis_name = names[axis]
-        for w in range(warps):
-            for l in range(lanes):
-                for r in range(regs):
-                    pos = index.read(w, l, r)
-                    here = view.flat_of({REGISTER: r, LANE: l, WARP: w})
-                    coords = layout.unflatten_out(here)
-                    coords[axis_name] = pos
-                    src_flat = _flatten(coords, layout)
-                    owner = view.owner_of(src_flat)
-                    value = src.read(
-                        w, owner.get(LANE, 0), owner.get(REGISTER, 0)
-                    )
-                    out.write(w, l, r, value)
-        trace.emit(InstructionKind.SHUFFLE, count=plan.total_shuffles)
-        return out, trace
+        program = _gather_shuffle_program(layout, axis)
+        files, trace = self.run_program(
+            program, {R_IN: src, R_IDX: index}
+        )
+        return files[program.result], trace
 
     def run_gather_shared(
         self,
@@ -301,59 +110,30 @@ class Machine:
     ) -> Tuple[RegisterFile, Trace]:
         """Legacy gather: stage the source tensor through shared memory
         and load each gathered element with a scalar read."""
-        view = DistributedView(layout)
-        trace = Trace(self.spec)
-        elem_bytes = 4
-        memory = SharedMemory(self.spec, elem_bytes)
-        regs = layout.in_dim_size(REGISTER)
-        lanes = layout.in_dim_size(LANE)
-        warps = layout.in_dim_size(WARP)
-        names = list(layout.out_dims)
-        axis_name = names[axis]
-        # Store every element at its flattened position.
-        for w in range(warps):
-            for l in range(lanes):
-                for r in range(regs):
-                    p = view.flat_of({REGISTER: r, LANE: l, WARP: w})
-                    memory.write(p, src.read(w, l, r))
-        trace.emit(
-            InstructionKind.SHARED_STORE,
-            vector_bits=32,
-            count=regs,
-            wavefronts=1,
+        program = _gather_shared_program(layout, axis)
+        files, trace = self.run_program(
+            program, {R_IN: src, R_IDX: index}
         )
-        trace.emit(InstructionKind.BARRIER)
-        out = RegisterFile(src.num_warps, src.warp_size)
-        # Scalar gathered loads, bank behaviour measured per warp.
-        total_wavefronts = 0
-        for r in range(regs):
-            worst = 1
-            for w in range(warps):
-                requests = []
-                for l in range(lanes):
-                    pos = index.read(w, l, r)
-                    here = view.flat_of({REGISTER: r, LANE: l, WARP: w})
-                    coords = layout.unflatten_out(here)
-                    coords[axis_name] = pos
-                    src_flat = _flatten(coords, layout)
-                    out.write(w, l, r, memory.read(src_flat))
-                    requests.append((src_flat, 1))
-                worst = max(worst, memory.wavefronts(requests, False))
-            total_wavefronts += worst
-        trace.emit(
-            InstructionKind.SHARED_LOAD,
-            vector_bits=32,
-            count=regs,
-            wavefronts=max(1, total_wavefronts // max(1, regs)),
-            dependent=True,
-        )
-        return out, trace
+        return files[program.result], trace
 
 
-def _flatten(coords: Dict[str, int], layout: LinearLayout) -> int:
-    """Row-major flatten of per-dim coords (last dim fastest)."""
-    flat = 0
-    for name in layout.out_dims:
-        bits = layout.out_dim_size_log2(name)
-        flat = (flat << bits) | coords[name]
-    return flat
+def _gather_shuffle_program(
+    layout: LinearLayout, axis: int
+) -> WarpProgram:
+    """Memoized lowering so interpreter scratch persists across runs."""
+    return _cache.cached(
+        _cache.plans,
+        ("program", "gather_shuffle", layout.canonical_key(), axis),
+        lambda: lower_gather_shuffle(layout, axis),
+    )
+
+
+def _gather_shared_program(
+    layout: LinearLayout, axis: int
+) -> WarpProgram:
+    """Memoized lowering so interpreter scratch persists across runs."""
+    return _cache.cached(
+        _cache.plans,
+        ("program", "gather_shared", layout.canonical_key(), axis),
+        lambda: lower_gather_shared(layout, axis),
+    )

@@ -27,11 +27,12 @@ from repro.codegen.plan import ConversionPlan
 from repro.codegen.vectorize import legacy_vector_width_bits, vector_width_bits
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.layout import LinearLayout
-from repro.gpusim.pricing import price_plan
+from repro.gpusim.memory import SharedMemory
 from repro.gpusim.trace import Trace
 from repro.hardware.cost import CostModel
 from repro.hardware.instructions import Instruction, InstructionKind
 from repro.hardware.spec import GpuSpec
+from repro.program.ir import Opcode, WarpProgram
 from repro.layouts.blocked import BlockedLayout
 from repro.layouts.mfma import AmdMfmaLayout
 from repro.layouts.wgmma import WgmmaLayout
@@ -84,6 +85,112 @@ def policy_for_mode(mode: str) -> CostPolicy:
     if mode == "legacy":
         return LEGACY_POLICY
     raise ValueError(f"mode must be linear or legacy: {mode!r}")
+
+
+# ----------------------------------------------------------------------
+# Static pricing of warp programs (the fast no-data path)
+# ----------------------------------------------------------------------
+def _price_shared_instr(instr, trace: Trace, spec: GpuSpec, kind) -> None:
+    """Price one STS/LDS on warp 0's addresses (all warps congruent)."""
+    memory = SharedMemory(spec, instr.elem_bytes)
+    ws = spec.warp_size
+    lane_lists = instr.accesses[:ws]  # warp 0
+    max_accesses = max((len(a) for a in instr.accesses), default=0)
+    if max_accesses == 0:
+        return
+    if kind == InstructionKind.SHARED_STORE and instr.use_stmatrix:
+        _price_matrix(instr, trace, InstructionKind.STMATRIX)
+        return
+    if kind == InstructionKind.SHARED_LOAD and instr.use_ldmatrix:
+        _price_matrix(instr, trace, InstructionKind.LDMATRIX)
+        return
+    total_wavefronts = 0
+    vector_bits = 32
+    for k in range(max_accesses):
+        requests = []
+        for lane_accesses in lane_lists:
+            if k < len(lane_accesses):
+                base, regs = lane_accesses[k]
+                requests.append((base, len(regs)))
+                vector_bits = max(
+                    vector_bits, len(regs) * instr.elem_bytes * 8
+                )
+        if requests:
+            total_wavefronts += memory.wavefronts(
+                requests, kind == InstructionKind.SHARED_STORE
+            )
+    trace.emit(
+        kind,
+        vector_bits=vector_bits,
+        count=max_accesses,
+        wavefronts=max(1, total_wavefronts // max_accesses),
+    )
+
+
+def _price_matrix(instr, trace: Trace, kind: InstructionKind) -> None:
+    bytes_per_lane = 0
+    for lane_accesses in instr.accesses:
+        total = sum(len(regs) for _, regs in lane_accesses)
+        bytes_per_lane = max(bytes_per_lane, total * instr.elem_bytes)
+    insts = max(1, (bytes_per_lane + 15) // 16)
+    trace.emit(kind, vector_bits=128, count=insts, wavefronts=1)
+
+
+def price_program(program: WarpProgram, spec: GpuSpec) -> Trace:
+    """The instruction trace of a warp program, computed without data.
+
+    Register moves are free; shared accesses are priced on their
+    static addresses.  Gather loads have data-dependent addresses, so
+    their wavefronts here use the pipelined-kernel assumption the op
+    pricing makes (see :meth:`OpCostModel.price_gather`); the
+    interpreter measures the real addresses at execution time.
+    """
+    trace = Trace(spec)
+    for instr in program.instrs:
+        op = instr.opcode
+        if op == Opcode.MOVR:
+            continue  # register renaming is free
+        if op == Opcode.SHFL:
+            trace.emit(InstructionKind.SHUFFLE, count=instr.insts)
+        elif op == Opcode.STS:
+            _price_shared_instr(
+                instr, trace, spec, InstructionKind.SHARED_STORE
+            )
+        elif op == Opcode.LDS:
+            _price_shared_instr(
+                instr, trace, spec, InstructionKind.SHARED_LOAD
+            )
+        elif op == Opcode.BAR:
+            trace.emit(InstructionKind.BARRIER)
+        elif op == Opcode.GATHER_SHFL:
+            trace.emit(
+                InstructionKind.SHUFFLE, count=instr.shuffle_count
+            )
+        elif op == Opcode.GATHER_STS:
+            trace.emit(
+                InstructionKind.SHARED_STORE,
+                vector_bits=32,
+                count=instr.layout.in_dim_size(REGISTER),
+            )
+        elif op == Opcode.GATHER_LDS:
+            trace.emit(
+                InstructionKind.SHARED_LOAD,
+                vector_bits=32,
+                count=instr.layout.in_dim_size(REGISTER),
+                wavefronts=2,
+            )
+        else:  # pragma: no cover
+            raise TypeError(f"unknown instruction {instr!r}")
+    return trace
+
+
+def price_plan(plan: ConversionPlan, spec: GpuSpec) -> Trace:
+    """The instruction trace of a conversion plan, without data.
+
+    Lowers the plan to its warp program (cached on the plan) and
+    prices the stream — the one pricing path, shared with execution.
+    """
+    return price_program(plan.program(), spec)
 
 
 class OpCostModel:
@@ -187,7 +294,7 @@ class OpCostModel:
 
         def make() -> Tuple[ConversionPlan, Tuple[Instruction, ...], float]:
             plan = self.plan(src, dst, dtype)
-            priced = price_plan(plan, self.spec)
+            priced = price_program(plan.program(), self.spec)
             return plan, tuple(priced.instructions), priced.cycles()
 
         return _cache.cached(
@@ -349,4 +456,6 @@ __all__ = [
     "kernel_cycles",
     "op_cost_model",
     "policy_for_mode",
+    "price_plan",
+    "price_program",
 ]

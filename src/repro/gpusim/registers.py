@@ -1,8 +1,18 @@
-"""Per-thread register files and distributed-tensor materialization."""
+"""Per-thread register files and distributed-tensor materialization.
+
+A :class:`RegisterFile` is backed by a dense ``(warps, lanes, regs)``
+NumPy object array with ``None`` marking unwritten slots, so the
+vectorized program interpreter can borrow or wrap the storage without
+a per-slot conversion loop.  The dict-style API (``read``/``write``/
+``has``/``as_dict``) is unchanged; storing ``None`` as a value is
+indistinguishable from leaving the slot unwritten.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.core.dims import LANE, REGISTER, WARP
 from repro.core.layout import LinearLayout
@@ -17,37 +27,95 @@ class RegisterFile:
     def __init__(self, num_warps: int, warp_size: int):
         self.num_warps = num_warps
         self.warp_size = warp_size
-        self._values: Dict[Slot, object] = {}
+        self._arr = np.full((num_warps, warp_size, 0), None, dtype=object)
+
+    def _grow(self, warp: int, lane: int, reg: int) -> None:
+        nw, ws, nr = self._arr.shape
+        new = np.full(
+            (
+                max(nw, warp + 1),
+                max(ws, lane + 1),
+                max(nr * 2, reg + 1),
+            ),
+            None,
+            dtype=object,
+        )
+        new[:nw, :ws, :nr] = self._arr
+        self._arr = new
 
     def write(self, warp: int, lane: int, reg: int, value: object) -> None:
         """Set one register slot."""
-        self._values[(warp, lane, reg)] = value
+        nw, ws, nr = self._arr.shape
+        if warp >= nw or lane >= ws or reg >= nr:
+            self._grow(warp, lane, reg)
+        self._arr[warp, lane, reg] = value
 
     def read(self, warp: int, lane: int, reg: int) -> object:
         """Read one register slot; raises KeyError if never written."""
-        try:
-            return self._values[(warp, lane, reg)]
-        except KeyError:
-            raise KeyError(
-                f"read of unwritten register (w={warp}, l={lane}, r={reg})"
-            ) from None
+        nw, ws, nr = self._arr.shape
+        if warp < nw and lane < ws and reg < nr:
+            value = self._arr[warp, lane, reg]
+            if value is not None:
+                return value
+        raise KeyError(
+            f"read of unwritten register (w={warp}, l={lane}, r={reg})"
+        )
 
     def has(self, warp: int, lane: int, reg: int) -> bool:
         """True iff the slot has been written."""
-        return (warp, lane, reg) in self._values
+        nw, ws, nr = self._arr.shape
+        return (
+            warp < nw
+            and lane < ws
+            and reg < nr
+            and self._arr[warp, lane, reg] is not None
+        )
 
     def copy(self) -> "RegisterFile":
         """An independent copy of all slots."""
         out = RegisterFile(self.num_warps, self.warp_size)
-        out._values = dict(self._values)
+        out._arr = self._arr.copy()
         return out
 
     def as_dict(self) -> Dict[Slot, object]:
         """All written slots as a plain dict."""
-        return dict(self._values)
+        written = np.argwhere(self._arr != None)  # noqa: E711 — elementwise
+        return {
+            (int(w), int(l), int(r)): self._arr[w, l, r]
+            for w, l, r in written
+        }
 
     def __len__(self) -> int:
-        return len(self._values)
+        return int(np.count_nonzero(self._arr != None))  # noqa: E711
+
+    # -- dense-array interop (the vectorized interpreter's fast path) --
+    @property
+    def num_regs(self) -> int:
+        """Capacity of the register dimension (highest written + 1)."""
+        return self._arr.shape[2]
+
+    def dense(
+        self, num_warps: int, warp_size: int, num_regs: int
+    ) -> np.ndarray:
+        """An independent object array of exactly the given shape."""
+        out = np.full((num_warps, warp_size, num_regs), None, dtype=object)
+        nw, ws, nr = self._arr.shape
+        w = min(nw, num_warps)
+        l = min(ws, warp_size)
+        r = min(nr, num_regs)
+        out[:w, :l, :r] = self._arr[:w, :l, :r]
+        return out
+
+    @staticmethod
+    def from_dense(
+        arr: np.ndarray, num_warps: int, warp_size: int
+    ) -> "RegisterFile":
+        """Wrap an object array (ownership transfers; no copy)."""
+        rf = RegisterFile.__new__(RegisterFile)
+        rf.num_warps = num_warps
+        rf.warp_size = warp_size
+        rf._arr = arr
+        return rf
 
 
 def distributed_data(

@@ -1,4 +1,12 @@
-"""Graph execution over NumPy arrays."""
+"""Graph execution over NumPy arrays.
+
+Layout-conversion nodes do not just pass through: when both sides
+carry layouts covering the tensor, the conversion executes on the
+simulated machine — the same warp-program interpreter that prices and
+traces it — so graph semantics and cycle traces come from one source.
+Every element is verified to arrive at its destination slot; the
+per-conversion traces are collected on the result.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.core.dims import WARP
+from repro.core.errors import LayoutError
 from repro.engine.ir import Graph, OpKind, Value
 from repro.mxfp.emulate import emulated_matmul
 from repro.mxfp.quantize import quantize_to
@@ -37,21 +47,86 @@ class ExecutionResult:
 
     stores: List[np.ndarray] = field(default_factory=list)
     values: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: One machine trace per layout conversion executed through the
+    #: warp-program interpreter, in graph order.
+    conversion_traces: List[object] = field(default_factory=list)
+
+
+def _layout_shape(layout) -> tuple:
+    return tuple(
+        layout.out_dim_size(d) for d in layout.out_dims
+    )
+
+
+def _simulate_conversion(op, arr: np.ndarray, result, machines: Dict):
+    """Run one CONVERT_LAYOUT node on the simulated machine.
+
+    Distributes the tensor over the source layout's register file,
+    executes the lowered warp program, and checks every element landed
+    at its destination slot.  Returns False (caller passes the value
+    through) when the layouts do not cover the tensor or the pair has
+    no plan — partial-tile graph nodes keep their NumPy semantics.
+    """
+    from repro.codegen.conversion import plan_conversion
+    from repro.gpusim.machine import Machine
+    from repro.gpusim.registers import (
+        assert_matches_layout,
+        distributed_data,
+    )
+
+    src_l = op.inputs[0].layout
+    dst_l = op.output.layout
+    if src_l is None or dst_l is None:
+        return False
+    if (
+        _layout_shape(src_l) != tuple(arr.shape)
+        or _layout_shape(dst_l) != tuple(arr.shape)
+    ):
+        return False
+    try:
+        plan = plan_conversion(
+            src_l, dst_l, elem_bits=op.inputs[0].dtype.bits
+        )
+    except LayoutError:
+        return False
+    num_warps = max(
+        src_l.in_dim_size(WARP), dst_l.in_dim_size(WARP)
+    )
+    machine = machines.get(num_warps)
+    if machine is None:
+        machine = Machine(num_warps=num_warps)
+        machines[num_warps] = machine
+    flat = arr.ravel()
+    registers = distributed_data(
+        src_l,
+        num_warps,
+        machine.spec.warp_size,
+        value_of=lambda p: flat[p],
+    )
+    converted, trace = machine.run_conversion(plan, registers)
+    assert_matches_layout(converted, dst_l, value_of=lambda p: flat[p])
+    result.conversion_traces.append(trace)
+    return True
 
 
 def execute_graph(
     graph: Graph,
     inputs: Sequence[np.ndarray],
     quantize_inputs: bool = True,
+    simulate_conversions: bool = True,
 ) -> ExecutionResult:
     """Run a graph; ``inputs`` feed the LOAD ops in program order.
 
     With ``quantize_inputs`` each input is rounded through its
     declared dtype first, as loading from a low-precision buffer
-    would.
+    would.  With ``simulate_conversions`` (the default), layout
+    conversions whose layouts cover the tensor execute on the
+    simulated machine and their traces land in
+    :attr:`ExecutionResult.conversion_traces`.
     """
     result = ExecutionResult()
     env: Dict[int, np.ndarray] = {}
+    machines: Dict[int, object] = {}
     load_idx = 0
 
     def get(value: Value) -> np.ndarray:
@@ -74,7 +149,12 @@ def execute_graph(
         elif kind == OpKind.STORE:
             result.stores.append(get(op.inputs[0]))
         elif kind == OpKind.CONVERT_LAYOUT:
-            env[op.output.vid] = get(op.inputs[0])
+            arr = get(op.inputs[0])
+            if simulate_conversions:
+                # Values are preserved by construction; the simulated
+                # run verifies the routing and records the trace.
+                _simulate_conversion(op, arr, result, machines)
+            env[op.output.vid] = arr
         elif kind == OpKind.LOCAL_STORE or kind == OpKind.LOCAL_LOAD:
             env[op.output.vid] = get(op.inputs[0])
         elif kind == OpKind.ELEMENTWISE:

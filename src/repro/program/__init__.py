@@ -1,0 +1,78 @@
+"""The unified warp-program IR (execution = pricing = tracing).
+
+One instruction stream for everything the backend does with a lowered
+layout operation: the planners produce it (:mod:`repro.program.lower`),
+the peephole optimizer rewrites it (:mod:`repro.program.optimize`),
+two interpreters execute it (:mod:`repro.program.interp` — a NumPy
+vectorized default and a scalar differential-testing oracle), the cost
+model prices it (:func:`repro.gpusim.opcost.price_program`), and JSON
+round-trips it (:mod:`repro.program.serialize`).
+"""
+
+from repro.program.ir import (
+    Bar,
+    GatherLds,
+    GatherShfl,
+    GatherSts,
+    Lds,
+    MovR,
+    Opcode,
+    R_IDX,
+    R_IN,
+    R_OUT,
+    Shfl,
+    Sts,
+    WarpProgram,
+    instr_class,
+    instr_fields,
+)
+from repro.program.interp import (
+    ScalarInterpreter,
+    VectorInterpreter,
+    make_interpreter,
+)
+from repro.program.lower import (
+    broadcast_replication_program,
+    lower_gather_shared,
+    lower_gather_shuffle,
+    lower_plan,
+    lower_register_permute,
+)
+from repro.program.optimize import optimize_program
+from repro.program.serialize import (
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
+
+__all__ = [
+    "Bar",
+    "GatherLds",
+    "GatherShfl",
+    "GatherSts",
+    "Lds",
+    "MovR",
+    "Opcode",
+    "R_IDX",
+    "R_IN",
+    "R_OUT",
+    "ScalarInterpreter",
+    "Shfl",
+    "Sts",
+    "VectorInterpreter",
+    "WarpProgram",
+    "broadcast_replication_program",
+    "instr_class",
+    "instr_fields",
+    "lower_gather_shared",
+    "lower_gather_shuffle",
+    "lower_plan",
+    "lower_register_permute",
+    "make_interpreter",
+    "optimize_program",
+    "program_from_dict",
+    "program_from_json",
+    "program_to_dict",
+    "program_to_json",
+]

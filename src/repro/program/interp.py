@@ -1,0 +1,714 @@
+"""Warp-program interpreters: one scalar oracle, one vectorized.
+
+Both interpreters execute the same instruction stream with the same
+observable semantics — real data movement through register files and
+banked shared memory, plus an instruction :class:`Trace` for the cost
+model.  The scalar interpreter is a direct port of the historical
+per-lane execution loops and serves as the differential-testing
+oracle; the vectorized interpreter compiles each instruction's
+routing tables into NumPy index arrays once (cached on the program)
+and then moves whole warps per instruction.
+
+Bank-conflict accounting is *static* for conversion instructions (the
+addresses live in the instruction), so both backends share one
+accounting function and their traces are identical by construction.
+Gather loads have data-dependent addresses; their wavefronts are
+measured on the actual offsets, again through shared code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dims import LANE, REGISTER, WARP
+from repro.codegen.views import DistributedView
+from repro.gpusim.memory import SharedMemory
+from repro.gpusim.registers import RegisterFile
+from repro.gpusim.trace import Trace
+from repro.hardware.instructions import InstructionKind
+from repro.hardware.spec import GpuSpec
+from repro.program.ir import Opcode, WarpProgram
+
+
+# ----------------------------------------------------------------------
+# Shared static accounting (identical across backends by construction)
+# ----------------------------------------------------------------------
+def shared_accounting(
+    instr, spec: GpuSpec, num_warps: int, is_store: bool
+) -> Optional[Tuple]:
+    """Bank accounting of one STS/LDS instruction.
+
+    Returns ``("matrix", insts)`` for ld/stmatrix lowering, or
+    ``("vec", vector_bits, count, wavefronts)`` for plain accesses,
+    or ``None`` when the instruction touches nothing.  Addresses are
+    static, so this is a pure function of the instruction, the
+    platform, and the executing CTA's warp count.
+    """
+    accesses = instr.accesses
+    max_accesses = max((len(a) for a in accesses), default=0)
+    if max_accesses == 0:
+        return None
+    matrix = instr.use_stmatrix if is_store else instr.use_ldmatrix
+    if matrix:
+        bytes_per_lane = 0
+        for lane_accesses in accesses:
+            total = sum(len(regs) for _, regs in lane_accesses)
+            bytes_per_lane = max(
+                bytes_per_lane, total * instr.elem_bytes
+            )
+        return ("matrix", max(1, (bytes_per_lane + 15) // 16))
+    memory = SharedMemory(spec, instr.elem_bytes)
+    ws = spec.warp_size
+    total_wavefronts = 0
+    vector_bits = 0
+    for k in range(max_accesses):
+        worst = 0
+        for w in range(num_warps):
+            requests = []
+            for lane in range(ws):
+                tid = w * ws + lane
+                if tid >= len(accesses):
+                    continue
+                lane_accesses = accesses[tid]
+                if k < len(lane_accesses):
+                    base, regs = lane_accesses[k]
+                    requests.append((base, len(regs)))
+            if not requests:
+                continue
+            worst = max(
+                worst, memory.wavefronts(requests, is_store=is_store)
+            )
+            vector_bits = max(
+                vector_bits,
+                max(n for _, n in requests) * instr.elem_bytes * 8,
+            )
+        total_wavefronts += worst
+    return (
+        "vec",
+        vector_bits,
+        max_accesses,
+        max(1, total_wavefronts // max_accesses),
+    )
+
+
+def emit_shared(
+    instr,
+    trace: Trace,
+    spec: GpuSpec,
+    num_warps: int,
+    is_store: bool,
+    cache: Optional[Dict] = None,
+    key: Optional[Tuple] = None,
+) -> None:
+    """Emit the priced record(s) of one STS/LDS instruction."""
+    acct = None
+    if cache is not None and key in cache:
+        acct = cache[key]
+    else:
+        acct = shared_accounting(instr, spec, num_warps, is_store)
+        if cache is not None:
+            cache[key] = acct
+    if acct is None:
+        return
+    if acct[0] == "matrix":
+        kind = (
+            InstructionKind.STMATRIX
+            if is_store
+            else InstructionKind.LDMATRIX
+        )
+        trace.emit(kind, vector_bits=128, count=acct[1], wavefronts=1)
+    else:
+        kind = (
+            InstructionKind.SHARED_STORE
+            if is_store
+            else InstructionKind.SHARED_LOAD
+        )
+        trace.emit(
+            kind,
+            vector_bits=acct[1],
+            count=acct[2],
+            wavefronts=acct[3],
+        )
+
+
+# ----------------------------------------------------------------------
+# Gather geometry shared by both backends
+# ----------------------------------------------------------------------
+def _axis_field(layout, axis: int) -> Tuple[int, int]:
+    """(shift, mask) of the gather axis inside the row-major flatten."""
+    names = list(layout.out_dims)
+    shift = sum(
+        layout.out_dim_size_log2(name) for name in names[axis + 1 :]
+    )
+    bits = layout.out_dim_size_log2(names[axis])
+    return shift, ((1 << bits) - 1) << shift
+
+
+def gather_lds_wavefronts(
+    spec: GpuSpec,
+    elem_bytes: int,
+    offsets,
+    warps: int,
+    lanes: int,
+    regs: int,
+) -> int:
+    """Measured wavefronts of the data-dependent gathered loads.
+
+    ``offsets[w][l][r]`` (any indexable) holds the flat source
+    offsets; the metric is the historical one — per register slot the
+    worst warp, averaged over slots.
+    """
+    memory = SharedMemory(spec, elem_bytes)
+    total = 0
+    for r in range(regs):
+        worst = 1
+        for w in range(warps):
+            requests = [(int(offsets[w][l][r]), 1) for l in range(lanes)]
+            worst = max(worst, memory.wavefronts(requests, False))
+        total += worst
+    return max(1, total // max(1, regs))
+
+
+# ----------------------------------------------------------------------
+# Scalar oracle
+# ----------------------------------------------------------------------
+class ScalarInterpreter:
+    """Per-lane reference execution of warp programs.
+
+    Slow and obviously correct: every instruction is a Python loop
+    over (warp, lane, register) slots, preserved verbatim from the
+    original plan executor.  Used as the differential-testing oracle
+    for the vectorized backend.
+    """
+
+    backend = "scalar"
+
+    def __init__(self, spec: GpuSpec, num_warps: int):
+        self.spec = spec
+        self.num_warps = num_warps
+
+    def run(
+        self, program: WarpProgram, inputs: Dict[str, RegisterFile]
+    ) -> Tuple[Dict[str, RegisterFile], Trace]:
+        """Execute; returns (register spaces, trace)."""
+        trace = Trace(self.spec)
+        files: Dict[str, RegisterFile] = dict(inputs)
+        anchor = next(iter(inputs.values()))
+        dims = (anchor.num_warps, anchor.warp_size)
+        memory: Optional[SharedMemory] = None
+        for i, instr in enumerate(program.instrs):
+            op = instr.opcode
+            if op == Opcode.MOVR:
+                files[instr.dst] = self._movr(instr, files[instr.src], dims)
+            elif op == Opcode.SHFL:
+                if instr.dst not in files:
+                    files[instr.dst] = RegisterFile(*dims)
+                self._shfl(instr, files[instr.src], files[instr.dst])
+                trace.emit(InstructionKind.SHUFFLE, count=instr.insts)
+            elif op == Opcode.STS:
+                memory = SharedMemory(self.spec, instr.elem_bytes)
+                self._sts(instr, files[instr.src], memory)
+                emit_shared(
+                    instr, trace, self.spec, self.num_warps, True,
+                    program.scratch,
+                    ("acct", self.spec.name, self.num_warps, i),
+                )
+            elif op == Opcode.BAR:
+                trace.emit(InstructionKind.BARRIER)
+            elif op == Opcode.LDS:
+                if memory is None:
+                    raise RuntimeError("LDS before any STS")
+                out = RegisterFile(*dims)
+                self._lds(instr, out, memory)
+                files[instr.dst] = out
+                emit_shared(
+                    instr, trace, self.spec, self.num_warps, False,
+                    program.scratch,
+                    ("acct", self.spec.name, self.num_warps, i),
+                )
+            elif op == Opcode.GATHER_SHFL:
+                files[instr.dst] = self._gather_shfl(
+                    instr, files[instr.src], files[instr.index], dims
+                )
+                trace.emit(
+                    InstructionKind.SHUFFLE, count=instr.shuffle_count
+                )
+            elif op == Opcode.GATHER_STS:
+                memory = SharedMemory(self.spec, instr.elem_bytes)
+                self._gather_sts(instr, files[instr.src], memory)
+                trace.emit(
+                    InstructionKind.SHARED_STORE,
+                    vector_bits=32,
+                    count=instr.layout.in_dim_size(REGISTER),
+                    wavefronts=1,
+                )
+            elif op == Opcode.GATHER_LDS:
+                if memory is None:
+                    raise RuntimeError("GATHER_LDS before any store")
+                out = RegisterFile(*dims)
+                wavefronts = self._gather_lds(
+                    instr, out, files[instr.index], memory
+                )
+                files[instr.dst] = out
+                trace.emit(
+                    InstructionKind.SHARED_LOAD,
+                    vector_bits=32,
+                    count=instr.layout.in_dim_size(REGISTER),
+                    wavefronts=wavefronts,
+                    dependent=True,
+                )
+            else:  # pragma: no cover
+                raise TypeError(f"unknown instruction {instr!r}")
+        return files, trace
+
+    # -- conversion instructions ---------------------------------------
+    def _movr(self, instr, src: RegisterFile, dims) -> RegisterFile:
+        dst = RegisterFile(*dims)
+        for w in range(instr.warps):
+            for lane in range(instr.lanes):
+                for new_reg, old_reg in enumerate(instr.dst_to_src):
+                    dst.write(w, lane, new_reg, src.read(w, lane, old_reg))
+        return dst
+
+    def _shfl(self, instr, src: RegisterFile, dst: RegisterFile) -> None:
+        for w in range(instr.warps):
+            for lane, s_lane in enumerate(instr.src_lane):
+                for s_reg, d_reg in zip(
+                    instr.send_regs[s_lane], instr.recv_regs[lane]
+                ):
+                    dst.write(w, lane, d_reg, src.read(w, s_lane, s_reg))
+
+    def _requests(self, instr, warp: int, k: int) -> List[Tuple]:
+        ws = self.spec.warp_size
+        out = []
+        for lane in range(ws):
+            tid = warp * ws + lane
+            if tid >= len(instr.accesses):
+                continue
+            lane_accesses = instr.accesses[tid]
+            if k < len(lane_accesses):
+                base, regs = lane_accesses[k]
+                out.append((lane, base, regs))
+        return out
+
+    def _sts(self, instr, src: RegisterFile, memory: SharedMemory) -> None:
+        max_accesses = max((len(a) for a in instr.accesses), default=0)
+        for k in range(max_accesses):
+            for w in range(self.num_warps):
+                for lane, base, regs in self._requests(instr, w, k):
+                    for j, reg in enumerate(regs):
+                        memory.write(base + j, src.read(w, lane, reg))
+
+    def _lds(self, instr, dst: RegisterFile, memory: SharedMemory) -> None:
+        max_accesses = max((len(a) for a in instr.accesses), default=0)
+        for k in range(max_accesses):
+            for w in range(self.num_warps):
+                for lane, base, regs in self._requests(instr, w, k):
+                    for j, reg in enumerate(regs):
+                        dst.write(w, lane, reg, memory.read(base + j))
+
+    # -- gather instructions -------------------------------------------
+    def _gather_shfl(
+        self, instr, src: RegisterFile, index: RegisterFile, dims
+    ) -> RegisterFile:
+        layout = instr.layout
+        view = DistributedView(layout)
+        out = RegisterFile(*dims)
+        regs = layout.in_dim_size(REGISTER)
+        lanes = layout.in_dim_size(LANE)
+        warps = layout.in_dim_size(WARP)
+        shift, mask = _axis_field(layout, instr.axis)
+        for w in range(warps):
+            for lane in range(lanes):
+                for r in range(regs):
+                    pos = index.read(w, lane, r)
+                    here = view.flat_of(
+                        {REGISTER: r, LANE: lane, WARP: w}
+                    )
+                    src_flat = (here & ~mask) | (int(pos) << shift)
+                    owner = view.owner_of(src_flat)
+                    out.write(
+                        w,
+                        lane,
+                        r,
+                        src.read(
+                            w,
+                            owner.get(LANE, 0),
+                            owner.get(REGISTER, 0),
+                        ),
+                    )
+        return out
+
+    def _gather_sts(
+        self, instr, src: RegisterFile, memory: SharedMemory
+    ) -> None:
+        layout = instr.layout
+        view = DistributedView(layout)
+        for w in range(layout.in_dim_size(WARP)):
+            for lane in range(layout.in_dim_size(LANE)):
+                for r in range(layout.in_dim_size(REGISTER)):
+                    p = view.flat_of({REGISTER: r, LANE: lane, WARP: w})
+                    memory.write(p, src.read(w, lane, r))
+
+    def _gather_lds(
+        self, instr, dst: RegisterFile, index: RegisterFile,
+        memory: SharedMemory,
+    ) -> int:
+        layout = instr.layout
+        view = DistributedView(layout)
+        regs = layout.in_dim_size(REGISTER)
+        lanes = layout.in_dim_size(LANE)
+        warps = layout.in_dim_size(WARP)
+        shift, mask = _axis_field(layout, instr.axis)
+        offsets = [
+            [[0] * regs for _ in range(lanes)] for _ in range(warps)
+        ]
+        for w in range(warps):
+            for lane in range(lanes):
+                for r in range(regs):
+                    pos = index.read(w, lane, r)
+                    here = view.flat_of(
+                        {REGISTER: r, LANE: lane, WARP: w}
+                    )
+                    src_flat = (here & ~mask) | (int(pos) << shift)
+                    offsets[w][lane][r] = src_flat
+                    dst.write(w, lane, r, memory.read(src_flat))
+        return gather_lds_wavefronts(
+            self.spec, instr.elem_bytes, offsets, warps, lanes, regs
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized backend
+# ----------------------------------------------------------------------
+class VectorInterpreter:
+    """Whole-warp NumPy execution of warp programs.
+
+    Register spaces are ``(warps, warp_size, regs)`` object arrays
+    (``None`` marks an unwritten slot, mirroring the scalar backend's
+    sparse register files); each instruction's routing tables compile
+    once into flat index arrays, cached on the program, after which
+    every execution is a handful of fancy-indexing gathers/scatters.
+    """
+
+    backend = "vector"
+
+    def __init__(self, spec: GpuSpec, num_warps: int):
+        self.spec = spec
+        self.num_warps = num_warps
+
+    def run(
+        self, program: WarpProgram, inputs: Dict[str, RegisterFile]
+    ) -> Tuple[Dict[str, RegisterFile], Trace]:
+        """Execute; returns (register spaces, trace)."""
+        trace = Trace(self.spec)
+        anchor = next(iter(inputs.values()))
+        ws = anchor.warp_size
+        nw = max(
+            [anchor.num_warps]
+            + [
+                instr.warps
+                for instr in program.instrs
+                if instr.opcode in (Opcode.MOVR, Opcode.SHFL)
+            ]
+        )
+        arrays: Dict[str, np.ndarray] = {}
+        for name, rf in inputs.items():
+            regs = max(program.num_regs(name), rf.num_regs)
+            arrays[name] = rf.dense(nw, ws, regs)
+        memory: Optional[np.ndarray] = None
+        mem_bytes = 4
+        written = set()
+        for i, instr in enumerate(program.instrs):
+            op = instr.opcode
+            if instr.writes() is not None:
+                written.add(instr.writes())
+            key = ("vec", self.spec.name, self.num_warps, i)
+            if op == Opcode.MOVR:
+                src = arrays[instr.src]
+                table = list(instr.dst_to_src)
+                out = np.full(
+                    (nw, ws, len(table)), None, dtype=object
+                )
+                w, l = min(instr.warps, nw), min(instr.lanes, ws)
+                out[:w, :l, :] = src[:w, :l, table]
+                arrays[instr.dst] = out
+            elif op == Opcode.SHFL:
+                plan = program.scratch.get(key)
+                if plan is None:
+                    plan = _compile_shfl(instr)
+                    program.scratch[key] = plan
+                dl, dr, sl, sr = plan
+                out = arrays.get(instr.dst)
+                if out is None:
+                    out = np.full(
+                        (nw, ws, program.num_regs(instr.dst)),
+                        None,
+                        dtype=object,
+                    )
+                    arrays[instr.dst] = out
+                w = min(instr.warps, nw)
+                out[:w, dl, dr] = arrays[instr.src][:w, sl, sr]
+                trace.emit(InstructionKind.SHUFFLE, count=instr.insts)
+            elif op == Opcode.STS:
+                plan = program.scratch.get(key)
+                if plan is None:
+                    plan = _compile_shared(instr, ws, self.num_warps)
+                    program.scratch[key] = plan
+                w_idx, l_idx, r_idx, off = plan
+                mem_bytes = instr.elem_bytes
+                memory = _alloc_memory(program, ws, self.num_warps)
+                if len(off):
+                    memory[off] = arrays[instr.src][w_idx, l_idx, r_idx]
+                emit_shared(
+                    instr, trace, self.spec, self.num_warps, True,
+                    program.scratch,
+                    ("acct", self.spec.name, self.num_warps, i),
+                )
+            elif op == Opcode.BAR:
+                trace.emit(InstructionKind.BARRIER)
+            elif op == Opcode.LDS:
+                if memory is None:
+                    raise RuntimeError("LDS before any STS")
+                plan = program.scratch.get(key)
+                if plan is None:
+                    plan = _compile_shared(instr, ws, self.num_warps)
+                    program.scratch[key] = plan
+                w_idx, l_idx, r_idx, off = plan
+                out = np.full(
+                    (nw, ws, program.num_regs(instr.dst)),
+                    None,
+                    dtype=object,
+                )
+                if len(off):
+                    out[w_idx, l_idx, r_idx] = memory[off]
+                arrays[instr.dst] = out
+                emit_shared(
+                    instr, trace, self.spec, self.num_warps, False,
+                    program.scratch,
+                    ("acct", self.spec.name, self.num_warps, i),
+                )
+            elif op == Opcode.GATHER_SHFL:
+                arrays[instr.dst] = self._gather_shfl(
+                    program, instr, key, arrays, nw, ws
+                )
+                trace.emit(
+                    InstructionKind.SHUFFLE, count=instr.shuffle_count
+                )
+            elif op == Opcode.GATHER_STS:
+                layout = instr.layout
+                here = _slot_flats(program, instr.layout, key)
+                warps = layout.in_dim_size(WARP)
+                lanes = layout.in_dim_size(LANE)
+                regs = layout.in_dim_size(REGISTER)
+                mem_bytes = instr.elem_bytes
+                memory = np.full(
+                    1 << layout.total_out_bits(), None, dtype=object
+                )
+                memory[here.ravel()] = arrays[instr.src][
+                    :warps, :lanes, :regs
+                ].ravel()
+                trace.emit(
+                    InstructionKind.SHARED_STORE,
+                    vector_bits=32,
+                    count=regs,
+                    wavefronts=1,
+                )
+            elif op == Opcode.GATHER_LDS:
+                if memory is None:
+                    raise RuntimeError("GATHER_LDS before any store")
+                layout = instr.layout
+                warps = layout.in_dim_size(WARP)
+                lanes = layout.in_dim_size(LANE)
+                regs = layout.in_dim_size(REGISTER)
+                src_flat = self._gather_offsets(
+                    program, instr, key, arrays, warps, lanes, regs
+                )
+                out = np.full((nw, ws, regs), None, dtype=object)
+                out[:warps, :lanes, :regs] = memory[src_flat]
+                arrays[instr.dst] = out
+                trace.emit(
+                    InstructionKind.SHARED_LOAD,
+                    vector_bits=32,
+                    count=regs,
+                    wavefronts=gather_lds_wavefronts(
+                        self.spec, mem_bytes, src_flat,
+                        warps, lanes, regs,
+                    ),
+                    dependent=True,
+                )
+            else:  # pragma: no cover
+                raise TypeError(f"unknown instruction {instr!r}")
+        files = {}
+        for name, arr in arrays.items():
+            if name in written or name not in inputs:
+                files[name] = RegisterFile.from_dense(
+                    arr, anchor.num_warps, ws
+                )
+            else:
+                # Untouched inputs pass through without an array
+                # round-trip.
+                files[name] = inputs[name]
+        return files, trace
+
+    # -- gather helpers ------------------------------------------------
+    def _gather_offsets(
+        self, program, instr, key, arrays, warps, lanes, regs
+    ) -> np.ndarray:
+        here = _slot_flats(program, instr.layout, (*key, "flats"))
+        shift, mask = _axis_field(instr.layout, instr.axis)
+        pos = arrays[instr.index][:warps, :lanes, :regs].astype(np.int64)
+        return (here & ~mask) | (pos << shift)
+
+    def _gather_shfl(
+        self, program, instr, key, arrays, nw, ws
+    ) -> np.ndarray:
+        layout = instr.layout
+        warps = layout.in_dim_size(WARP)
+        lanes = layout.in_dim_size(LANE)
+        regs = layout.in_dim_size(REGISTER)
+        src_flat = self._gather_offsets(
+            program, instr, key, arrays, warps, lanes, regs
+        )
+        view = DistributedView(layout)
+        owner_lane = np.zeros_like(src_flat)
+        owner_reg = np.zeros_like(src_flat)
+        for pos, (dim, i) in view.bit_owner.items():
+            sel = (src_flat >> pos) & 1
+            if dim == LANE:
+                owner_lane |= sel << i
+            elif dim == REGISTER:
+                owner_reg |= sel << i
+        w_mesh = np.arange(warps).reshape(-1, 1, 1)
+        w_mesh = np.broadcast_to(w_mesh, src_flat.shape)
+        out = np.full((nw, ws, regs), None, dtype=object)
+        out[:warps, :lanes, :regs] = arrays[instr.src][
+            w_mesh, owner_lane, owner_reg
+        ]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Compilation helpers (index-array construction, cached per program)
+# ----------------------------------------------------------------------
+def _compile_shfl(instr):
+    dl: List[int] = []
+    dr: List[int] = []
+    sl: List[int] = []
+    sr: List[int] = []
+    for lane, s_lane in enumerate(instr.src_lane):
+        for s_reg, d_reg in zip(
+            instr.send_regs[s_lane], instr.recv_regs[lane]
+        ):
+            dl.append(lane)
+            dr.append(d_reg)
+            sl.append(s_lane)
+            sr.append(s_reg)
+    return (
+        np.asarray(dl, dtype=np.intp),
+        np.asarray(dr, dtype=np.intp),
+        np.asarray(sl, dtype=np.intp),
+        np.asarray(sr, dtype=np.intp),
+    )
+
+
+def _compile_shared(instr, warp_size: int, num_warps: int):
+    """Flat (warp, lane, reg, offset) indices in machine write order."""
+    w_idx: List[int] = []
+    l_idx: List[int] = []
+    r_idx: List[int] = []
+    off: List[int] = []
+    accesses = instr.accesses
+    max_accesses = max((len(a) for a in accesses), default=0)
+    for k in range(max_accesses):
+        for w in range(num_warps):
+            for lane in range(warp_size):
+                tid = w * warp_size + lane
+                if tid >= len(accesses):
+                    continue
+                lane_accesses = accesses[tid]
+                if k < len(lane_accesses):
+                    base, regs = lane_accesses[k]
+                    for j, reg in enumerate(regs):
+                        w_idx.append(w)
+                        l_idx.append(lane)
+                        r_idx.append(reg)
+                        off.append(base + j)
+    return (
+        np.asarray(w_idx, dtype=np.intp),
+        np.asarray(l_idx, dtype=np.intp),
+        np.asarray(r_idx, dtype=np.intp),
+        np.asarray(off, dtype=np.intp),
+    )
+
+
+def _alloc_memory(
+    program: WarpProgram, warp_size: int, num_warps: int
+) -> np.ndarray:
+    """A fresh shared-memory array big enough for the whole program."""
+    key = ("memsize", num_warps)
+    size = program.scratch.get(key)
+    if size is None:
+        size = 1
+        for instr in program.instrs:
+            if instr.opcode in (Opcode.STS, Opcode.LDS):
+                for lane_accesses in instr.accesses:
+                    for base, regs in lane_accesses:
+                        size = max(size, base + len(regs))
+            elif instr.opcode in (
+                Opcode.GATHER_STS,
+                Opcode.GATHER_LDS,
+            ):
+                size = max(size, 1 << instr.layout.total_out_bits())
+        program.scratch[key] = size
+    return np.full(size, None, dtype=object)
+
+
+def _slot_flats(program: WarpProgram, layout, key) -> np.ndarray:
+    """``flat_of`` of every (warp, lane, reg) slot, vectorized."""
+    cached = program.scratch.get(key)
+    if cached is not None:
+        return cached
+    view = DistributedView(layout)
+    warps = layout.in_dim_size(WARP)
+    lanes = layout.in_dim_size(LANE)
+    regs = layout.in_dim_size(REGISTER)
+    w_mesh, l_mesh, r_mesh = np.meshgrid(
+        np.arange(warps, dtype=np.int64),
+        np.arange(lanes, dtype=np.int64),
+        np.arange(regs, dtype=np.int64),
+        indexing="ij",
+    )
+    flats = np.zeros((warps, lanes, regs), dtype=np.int64)
+    for dim, values in ((REGISTER, r_mesh), (LANE, l_mesh), (WARP, w_mesh)):
+        for bit, col in enumerate(view.columns.get(dim, [])):
+            if col:
+                flats ^= ((values >> bit) & 1) * col
+    program.scratch[key] = flats
+    return flats
+
+
+def make_interpreter(
+    backend: str, spec: GpuSpec, num_warps: int
+):
+    """The interpreter implementing one backend name."""
+    if backend == "scalar":
+        return ScalarInterpreter(spec, num_warps)
+    if backend == "vector":
+        return VectorInterpreter(spec, num_warps)
+    raise ValueError(
+        f"unknown simulator backend {backend!r} "
+        "(expected 'scalar' or 'vector')"
+    )
+
+
+__all__ = [
+    "ScalarInterpreter",
+    "VectorInterpreter",
+    "emit_shared",
+    "gather_lds_wavefronts",
+    "make_interpreter",
+    "shared_accounting",
+]

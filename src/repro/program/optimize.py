@@ -1,0 +1,129 @@
+"""Program-level peephole optimization.
+
+Three rewrites, all restricted to :class:`~repro.program.ir.MovR` —
+the only instruction with no priced footprint — so an optimized
+program executes to the same values *and* prices to the same trace:
+
+- **identity elimination**: an in-place move where every register
+  keeps its own value is dropped;
+- **move fusion**: two adjacent moves where the second consumes
+  exactly what the first produced become one composed move;
+- **dead-register elimination**: a move whose destination file is
+  never read again (and is not the program result) is dropped.
+
+Rewrites run to a fixpoint; everything else in the stream is
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.program.ir import MovR, Opcode, WarpProgram
+
+
+def _fuse(first: MovR, second: MovR) -> MovR:
+    """Compose two moves: ``second`` reading what ``first`` wrote."""
+    return MovR(
+        dst_to_src=tuple(first.dst_to_src[s] for s in second.dst_to_src),
+        lanes=second.lanes,
+        warps=second.warps,
+        src=first.src,
+        dst=second.dst,
+    )
+
+
+def _space_unused_after(instrs, start: int, space: str, result: str) -> bool:
+    """Whether nothing from ``start`` on observes ``space``."""
+    for later in instrs[start:]:
+        if space in later.reads():
+            return False
+        if later.writes() == space and later.kills:
+            return True
+    return space != result
+
+
+def _fusable(instrs, i: int, result: str) -> bool:
+    """Whether the pair at ``i``, ``i + 1`` can become one move.
+
+    ``second`` must read exactly the file ``first`` produced, consume
+    only registers ``first`` wrote, and cover no more lanes/warps than
+    ``first`` filled.  Replacing the pair drops ``first``'s write, so
+    the intermediate file must not be observed afterwards — either
+    ``second`` overwrites it, or nothing downstream reads it.
+    """
+    first, second = instrs[i], instrs[i + 1]
+    if first.opcode != Opcode.MOVR or second.opcode != Opcode.MOVR:
+        return False
+    if second.src != first.dst:
+        return False
+    if second.lanes > first.lanes or second.warps > first.warps:
+        return False
+    n = len(first.dst_to_src)
+    if not all(s < n for s in second.dst_to_src):
+        return False
+    return first.dst == second.dst or _space_unused_after(
+        instrs, i + 2, first.dst, result
+    )
+
+
+def _is_dead(program: WarpProgram, index: int) -> bool:
+    """Whether the MovR at ``index`` writes a file nobody observes.
+
+    Scans forward: a read of the file keeps the move alive; a killing
+    write to the file before any read makes it dead; reaching the end
+    makes it dead unless the file is the program result.
+    """
+    space = program.instrs[index].writes()
+    for later in program.instrs[index + 1 :]:
+        if space in later.reads():
+            return False
+        if later.writes() == space and later.kills:
+            return True
+    return space != program.result
+
+
+def optimize_program(program: WarpProgram) -> WarpProgram:
+    """Run the peephole rewrites to a fixpoint."""
+    instrs: Tuple = program.instrs
+    changed = True
+    while changed:
+        changed = False
+        # Identity elimination (in-place moves only: a cross-file
+        # identity move is a copy, not a no-op).
+        kept: List = []
+        for instr in instrs:
+            if (
+                instr.opcode == Opcode.MOVR
+                and instr.src == instr.dst
+                and instr.is_identity()
+            ):
+                changed = True
+                continue
+            kept.append(instr)
+        instrs = tuple(kept)
+        # Move fusion over adjacent pairs.
+        fused: List = []
+        i = 0
+        while i < len(instrs):
+            if i + 1 < len(instrs) and _fusable(instrs, i, program.result):
+                fused.append(_fuse(instrs[i], instrs[i + 1]))
+                changed = True
+                i += 2
+            else:
+                fused.append(instrs[i])
+                i += 1
+        instrs = tuple(fused)
+        # Dead-register elimination.
+        trial = WarpProgram(instrs, result=program.result)
+        alive: List = []
+        for i, instr in enumerate(instrs):
+            if instr.opcode == Opcode.MOVR and _is_dead(trial, i):
+                changed = True
+                continue
+            alive.append(instr)
+        instrs = tuple(alive)
+    return WarpProgram(instrs, result=program.result, label=program.label)
+
+
+__all__ = ["optimize_program"]

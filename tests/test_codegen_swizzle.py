@@ -151,7 +151,7 @@ class TestOptimalBeatsPadding:
     def test_transpose_staging(self, size):
         """Figure 2's claim at the plan level: on large tiles, the
         optimal staging never costs more cycles than padding."""
-        from repro.gpusim.pricing import price_plan
+        from repro.gpusim.opcost import price_plan
 
         src = transpose_layout(
             BlockedLayout((1, 8), (4, 8), (2, 2), (1, 0)).to_linear(

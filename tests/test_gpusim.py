@@ -12,7 +12,7 @@ from repro.gpusim import (
     Trace,
     distributed_data,
 )
-from repro.gpusim.pricing import price_plan
+from repro.gpusim.opcost import price_plan
 from repro.gpusim.registers import assert_matches_layout
 from repro.hardware import GH200, MI250, RTX4090
 from repro.hardware.instructions import InstructionKind

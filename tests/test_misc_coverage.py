@@ -102,7 +102,7 @@ class TestMatrixInstructionPricing:
     def test_price_matches_machine_for_ldmatrix_plan(self):
         from repro.codegen.conversion import plan_conversion
         from repro.gpusim import Machine, distributed_data
-        from repro.gpusim.pricing import price_plan
+        from repro.gpusim.opcost import price_plan
         from repro.hardware import GH200
         from repro.layouts import (
             BlockedLayout, MmaOperandLayout, NvidiaMmaLayout,

@@ -1,0 +1,289 @@
+"""The unified warp-program IR: lowering, interpreters, optimizer.
+
+The heavyweight property: random src/dst layout pairs executed
+through the vectorized interpreter match the scalar oracle AND direct
+``LinearLayout`` evaluation bit-for-bit — register files *and*
+traces — and peephole-optimized programs match unoptimized ones.
+"""
+
+import random
+
+import pytest
+
+from repro.codegen import plan_conversion
+from repro.codegen.gather import plan_gather
+from repro.codegen.views import DistributedView
+from repro.core import LANE, REGISTER, WARP
+from repro.gpusim import (
+    Machine,
+    RegisterFile,
+    distributed_data,
+    price_program,
+)
+from repro.gpusim.registers import assert_matches_layout
+from repro.hardware import GH200, RTX4090
+from repro.layouts import BlockedLayout, NvidiaMmaLayout
+from repro.program import (
+    MovR,
+    R_IN,
+    R_OUT,
+    WarpProgram,
+    lower_plan,
+    optimize_program,
+    program_from_json,
+    program_to_json,
+)
+
+from tests.test_random_layout_conversions import (
+    random_distributed_layout,
+)
+
+
+def both_machines(spec=RTX4090, num_warps=4):
+    return (
+        Machine(spec, num_warps, backend="scalar"),
+        Machine(spec, num_warps, backend="vector"),
+    )
+
+
+class TestInterpreterEquivalence:
+    """Vectorized == scalar oracle == direct layout evaluation."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_pairs_all_backends_bit_for_bit(self, seed):
+        rng = random.Random(seed)
+        shape = {"dim0": 16, "dim1": 32}
+        src = random_distributed_layout(rng, 9, shape=shape)
+        dst = random_distributed_layout(rng, 9, shape=shape)
+        plan = plan_conversion(src, dst, elem_bits=16, spec=RTX4090)
+        scalar, vector = both_machines()
+        registers = distributed_data(src, 4, 32)
+        out_s, trace_s = scalar.run_conversion(plan, registers)
+        out_v, trace_v = vector.run_conversion(plan, registers)
+        # Bit-for-bit register files and identical traces.
+        assert out_s.as_dict() == out_v.as_dict()
+        assert trace_s.instructions == trace_v.instructions
+        # And both agree with what the layouts say directly.
+        assert_matches_layout(out_v, dst)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_broadcast_pairs_all_backends(self, seed):
+        rng = random.Random(300 + seed)
+        shape = {"dim0": 16, "dim1": 32}
+        src = random_distributed_layout(
+            rng, 9, extra_reg_bits=1, shape=shape
+        )
+        dst = random_distributed_layout(
+            rng, 9, extra_reg_bits=1, shape=shape
+        )
+        plan = plan_conversion(src, dst, elem_bits=32, spec=GH200)
+        scalar, vector = both_machines(GH200)
+        registers = distributed_data(src, 4, 32)
+        out_s, trace_s = scalar.run_conversion(plan, registers)
+        out_v, trace_v = vector.run_conversion(plan, registers)
+        assert out_s.as_dict() == out_v.as_dict()
+        assert trace_s.instructions == trace_v.instructions
+        assert_matches_layout(out_v, dst)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_optimized_matches_unoptimized(self, seed):
+        rng = random.Random(500 + seed)
+        shape = {"dim0": 16, "dim1": 32}
+        src = random_distributed_layout(rng, 9, shape=shape)
+        dst = random_distributed_layout(rng, 9, shape=shape)
+        plan = plan_conversion(src, dst, elem_bits=16, spec=RTX4090)
+        raw = lower_plan(plan, optimize=False)
+        opt = optimize_program(raw)
+        machine = Machine(RTX4090, 4)
+        registers = distributed_data(src, 4, 32)
+        files_r, trace_r = machine.run_program(raw, {R_IN: registers})
+        files_o, trace_o = machine.run_program(opt, {R_IN: registers})
+        if raw.instrs:
+            assert_matches_layout(files_r[raw.result], dst)
+            assert_matches_layout(files_o[opt.result], dst)
+        # The optimizer only touches free register moves: identical
+        # priced traces, statically and dynamically.
+        assert trace_r.instructions == trace_o.instructions
+        assert (
+            price_program(raw, RTX4090).instructions
+            == price_program(opt, RTX4090).instructions
+        )
+
+    def test_pricing_agrees_with_execution_counts(self):
+        src = BlockedLayout((1, 4), (8, 4), (2, 2), (1, 0)).to_linear(
+            (32, 64)
+        )
+        dst = NvidiaMmaLayout((2, 2)).to_linear((32, 64))
+        plan = plan_conversion(src, dst, 16, spec=RTX4090)
+        program = plan.program()
+        priced = price_program(program, RTX4090)
+        _, executed = Machine(RTX4090, 4).run_conversion(
+            plan, distributed_data(src, 4, 32)
+        )
+        # One pricing path, one execution path, same stream shape.
+        assert [i.kind for i in priced.instructions] == [
+            i.kind for i in executed.instructions
+        ]
+        assert [i.count for i in priced.instructions] == [
+            i.count for i in executed.instructions
+        ]
+
+
+class TestGatherBackends:
+    def _setup(self):
+        layout = BlockedLayout((1, 2), (4, 8), (4, 1), (1, 0)).to_linear(
+            (16, 16)
+        )
+        view = DistributedView(layout)
+        src = distributed_data(layout, 4, 32)
+        index = RegisterFile(4, 32)
+        for w in range(4):
+            for lane in range(32):
+                for r in range(layout.in_dim_size(REGISTER)):
+                    p = view.flat_of(
+                        {REGISTER: r, LANE: lane, WARP: w}
+                    )
+                    index.write(w, lane, r, (p * 7 + 3) % 16)
+        return layout, src, index
+
+    def test_gather_shuffle_backends_agree(self):
+        layout, src, index = self._setup()
+        scalar, vector = both_machines()
+        out_s, trace_s = scalar.run_gather_shuffle(layout, 1, src, index)
+        out_v, trace_v = vector.run_gather_shuffle(layout, 1, src, index)
+        assert out_s.as_dict() == out_v.as_dict()
+        assert trace_s.instructions == trace_v.instructions
+
+    def test_gather_shared_backends_agree(self):
+        layout, src, index = self._setup()
+        scalar, vector = both_machines()
+        out_s, trace_s = scalar.run_gather_shared(layout, 1, src, index)
+        out_v, trace_v = vector.run_gather_shared(layout, 1, src, index)
+        assert out_s.as_dict() == out_v.as_dict()
+        assert trace_s.instructions == trace_v.instructions
+
+    def test_gather_program_shuffle_count(self):
+        layout, _, _ = self._setup()
+        gplan = plan_gather(layout, 1)
+        program = gplan.to_program(layout)
+        assert len(program) == 1
+        assert program.instrs[0].shuffle_count == gplan.total_shuffles
+
+
+class TestOptimizerRewrites:
+    def test_identity_move_dropped(self):
+        program = WarpProgram(
+            (
+                MovR((0, 1), 32, 4, src=R_IN, dst=R_OUT),
+                MovR((0, 1), 32, 4, src=R_OUT, dst=R_OUT),
+            )
+        )
+        opt = optimize_program(program)
+        assert len(opt) == 1
+        assert opt.instrs[0].src == R_IN
+
+    def test_adjacent_moves_fuse(self):
+        program = WarpProgram(
+            (
+                MovR((1, 0, 3, 2), 32, 4, src=R_IN, dst=R_OUT),
+                MovR((2, 3, 0, 1), 32, 4, src=R_OUT, dst=R_OUT),
+            )
+        )
+        opt = optimize_program(program)
+        assert len(opt) == 1
+        fused = opt.instrs[0]
+        assert fused.src == R_IN and fused.dst == R_OUT
+        # Composition: out2[r] = out1[t2[r]] = in[t1[t2[r]]].
+        assert fused.dst_to_src == (3, 2, 1, 0)
+
+    def test_fusion_can_cancel_to_identity(self):
+        table = (1, 0, 3, 2)
+        program = WarpProgram(
+            (
+                MovR(table, 32, 4, src=R_IN, dst="tmp"),
+                MovR(table, 32, 4, src="tmp", dst="tmp"),
+                MovR((0, 1, 2, 3), 32, 4, src="tmp", dst=R_OUT),
+            )
+        )
+        opt = optimize_program(program)
+        # The two applications of an involution cancel; what remains
+        # is one copy from "in" to the result space.
+        assert len(opt) == 1
+        assert opt.instrs[0].is_identity()
+        assert opt.instrs[0].src == R_IN
+        assert opt.instrs[0].dst == R_OUT
+
+    def test_dead_move_eliminated(self):
+        program = WarpProgram(
+            (
+                MovR((1, 0), 32, 4, src=R_IN, dst="scratch"),
+                MovR((0, 1), 32, 4, src=R_IN, dst=R_OUT),
+            )
+        )
+        opt = optimize_program(program)
+        assert all(i.dst != "scratch" for i in opt.instrs)
+
+    def test_result_space_never_eliminated(self):
+        program = WarpProgram(
+            (MovR((1, 0), 32, 4, src=R_IN, dst=R_OUT),),
+            result=R_OUT,
+        )
+        assert len(optimize_program(program)) == 1
+
+
+class TestProgramStructure:
+    def test_noop_plan_is_empty_program(self):
+        layout = BlockedLayout((1, 1), (8, 4), (2, 2), (1, 0)).to_linear(
+            (16, 8)
+        )
+        plan = plan_conversion(layout, layout, elem_bits=32)
+        program = plan.program()
+        assert len(program) == 0
+        assert program.result == R_IN
+
+    def test_spaces_and_num_regs(self):
+        src = BlockedLayout((1, 4), (8, 4), (2, 2), (1, 0)).to_linear(
+            (32, 64)
+        )
+        dst = NvidiaMmaLayout((2, 2)).to_linear((32, 64))
+        program = plan_conversion(src, dst, 16).program()
+        assert R_IN in program.spaces()
+        assert program.num_regs(R_IN) >= 1
+        assert program.num_regs("nonexistent") == 0
+
+    def test_json_round_trip_preserves_execution(self):
+        rng = random.Random(7)
+        shape = {"dim0": 16, "dim1": 32}
+        src = random_distributed_layout(rng, 9, shape=shape)
+        dst = random_distributed_layout(rng, 9, shape=shape)
+        plan = plan_conversion(src, dst, elem_bits=16)
+        program = plan.program()
+        rebuilt = program_from_json(program_to_json(program))
+        assert rebuilt.instrs == program.instrs
+        assert rebuilt.result == program.result
+        machine = Machine(RTX4090, 4)
+        registers = distributed_data(src, 4, 32)
+        files, trace = machine.run_program(rebuilt, {R_IN: registers})
+        if rebuilt.instrs:
+            assert_matches_layout(files[rebuilt.result], dst)
+        assert (
+            trace.instructions
+            == machine.run_program(program, {R_IN: registers})[1].instructions
+        )
+
+
+class TestPreshuffleProgram:
+    def test_table_matches_numpy_preshuffle(self):
+        import numpy as np
+
+        from repro.mxfp.shuffle_opt import (
+            preshuffle_operand,
+            preshuffle_register_table,
+        )
+
+        kwidth = 2
+        k = 16
+        table = preshuffle_register_table(k, kwidth)
+        w = np.arange(k, dtype=np.float64).reshape(k, 1)
+        shuffled = preshuffle_operand(w, kwidth)
+        assert [int(v) for v in shuffled[:, 0]] == list(table)

@@ -67,7 +67,7 @@ class TestBroadcastShuffles:
         assert "st.shared" not in trace.histogram()
 
     def test_cheaper_than_shared(self):
-        from repro.gpusim.pricing import price_plan
+        from repro.gpusim.opcost import price_plan
 
         shuffle = plan_conversion(self.src, self.dst, 16, spec=RTX4090)
         shared = plan_conversion(

@@ -14,7 +14,7 @@ from repro.codegen.conversion import plan_conversion
 from repro.codegen.plan import SharedLoad, SharedStore
 from repro.core import LANE, LinearLayout, REGISTER, WARP
 from repro.gpusim.memory import SharedMemory
-from repro.gpusim.pricing import price_plan
+from repro.gpusim.opcost import price_plan
 from repro.hardware import GH200
 
 
