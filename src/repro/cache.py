@@ -29,6 +29,32 @@ Caches
 Every cached value is immutable or treated as immutable by all
 callers; plans and layouts are shared across compilations.
 
+Thread safety
+-------------
+The caches are shared by every compilation in the process, including
+the worker pool of :class:`repro.serve.CompileService`, so the whole
+module is safe under concurrent use (``docs/SERVING.md`` states the
+contract; ``tests/test_cache_concurrency.py`` stresses it):
+
+* Every :class:`BoundedCache` guards its map, its LRU eviction loop,
+  and its statistics with one re-entrant lock.  Factories passed to
+  :meth:`BoundedCache.get_or_create` run *outside* the lock (cached
+  computations recurse into other caches), so two racing threads may
+  compute the same value — the first insertion wins and every caller
+  observes the same object afterwards.
+* :meth:`BoundedCache.clear` bumps a generation counter; an insertion
+  completing a lookup that started before the clear is dropped, so an
+  explicit invalidation cannot be resurrected by in-flight factories.
+* :func:`counters` reads *thread-local* hit/miss totals without
+  taking any lock, which is what lets the pass manager attribute
+  cache traffic to the pass that caused it even while other threads
+  compile concurrently.
+* The off-switch is **thread-local**: :func:`set_enabled` and
+  :func:`disabled` affect only the calling thread (a service worker
+  debugging with the cache off must not disable it for the whole
+  process); :func:`set_enabled_default` changes the process-wide
+  default that threads without an override inherit.
+
 Off-switch
 ----------
 Set the environment variable ``REPRO_CACHE=0`` (or call
@@ -56,10 +82,27 @@ __all__ = [
     "enabled",
     "intern_layout",
     "set_enabled",
+    "set_enabled_default",
     "stats",
 ]
 
 _MISSING = object()
+
+
+class _ThreadCounters(threading.local):
+    """Per-thread hit/miss totals, summed across every cache.
+
+    Monotonic for the lifetime of the thread — :func:`clear` resets
+    per-cache statistics but never these, so :func:`counters_delta`
+    attribution cannot go backwards mid-pass.
+    """
+
+    def __init__(self):  # called once per thread by threading.local
+        self.hits = 0
+        self.misses = 0
+
+
+_LOCAL = _ThreadCounters()
 
 
 @dataclass
@@ -72,6 +115,11 @@ class CacheStats:
     evictions: int = 0
     size: int = 0
     maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (the ``hits + misses`` invariant)."""
+        return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
@@ -93,27 +141,34 @@ class CacheStats:
 
 
 class BoundedCache:
-    """A bounded LRU mapping with statistics.
+    """A bounded LRU mapping with statistics, safe under threads.
 
     Entries are evicted least-recently-used first once ``maxsize`` is
     exceeded, so a long-running service cannot grow without bound.
-    Lookups and insertions take the cache lock; factory callables run
-    *outside* the lock (cached computations recurse into other
-    caches), so two racing threads may compute the same value — the
-    first insertion wins and both see a consistent object thereafter.
+    Lookups, insertions, and the eviction loop all run under one
+    re-entrant lock; factory callables run *outside* the lock (cached
+    computations recurse into other caches), so two racing threads may
+    compute the same value — the first insertion wins and both see a
+    consistent object thereafter.  An insertion whose lookup predates
+    a :meth:`clear` is dropped rather than resurrecting invalidated
+    state.
     """
 
-    def __init__(self, name: str, maxsize: int = 4096):
+    def __init__(self, name: str, maxsize: int = 4096, register: bool = True):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.name = name
         self.maxsize = maxsize
         self._data: Dict[Hashable, Any] = {}
-        self._lock = threading.Lock()
+        # Re-entrant: an evicted value's __del__ (or a logging hook)
+        # observing the cache must not deadlock against its own lock.
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
-        _REGISTRY.append(self)
+        self._generation = 0
+        if register:
+            _REGISTRY.append(self)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -124,51 +179,79 @@ class BoundedCache:
             value = self._data.pop(key, _MISSING)
             if value is _MISSING:
                 self._misses += 1
+                _LOCAL.misses += 1
                 return default
             self._data[key] = value  # re-insert: most recently used
             self._hits += 1
+            _LOCAL.hits += 1
             return value
 
     def put(self, key: Hashable, value: Any) -> Any:
         """Insert a value; an earlier racing insertion wins."""
+        return self._put(key, value, generation=None)
+
+    def _put(self, key: Hashable, value: Any, generation: int | None) -> Any:
+        """Insert under the lock, evicting LRU entries past capacity.
+
+        ``generation`` is the cache generation observed when the
+        caller's lookup missed; if a :meth:`clear` ran in between, the
+        stale value is returned to the caller but *not* inserted.
+        """
         with self._lock:
+            if generation is not None and generation != self._generation:
+                return value
             existing = self._data.get(key, _MISSING)
             if existing is not _MISSING:
                 return existing
             self._data[key] = value
+            # The eviction loop shares the insertion's critical
+            # section: capacity can never be observed exceeded, and a
+            # concurrent clear() cannot empty the dict mid-iteration
+            # (maxsize >= 1 keeps next(iter(...)) well-defined here).
             while len(self._data) > self.maxsize:
                 self._data.pop(next(iter(self._data)))
                 self._evictions += 1
             return value
 
-    def get_or_create(
-        self, key: Hashable, factory: Callable[[], Any]
-    ) -> Any:
-        """The cached value, computing and inserting it on a miss."""
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The cached value, computing and inserting it on a miss.
+
+        Atomic in the sense that matters: every thread asking for the
+        same key receives the same object once any insertion has
+        landed, and the factory never runs while holding the cache
+        lock.
+        """
+        generation = self._generation
         value = self.get(key, _MISSING)
         if value is not _MISSING:
             return value
-        return self.put(key, factory())
+        return self._put(key, factory(), generation=generation)
 
     def clear(self) -> None:
         """Drop every entry (statistics are reset too)."""
         with self._lock:
+            self._generation += 1
             self._data.clear()
             self._hits = 0
             self._misses = 0
             self._evictions = 0
 
     def stats(self) -> CacheStats:
-        """A point-in-time statistics snapshot."""
-        with self._lock:
-            return CacheStats(
-                name=self.name,
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
-                size=len(self._data),
-                maxsize=self.maxsize,
-            )
+        """A point-in-time statistics snapshot.
+
+        Lock-free: plain int reads are atomic under the GIL, so a
+        snapshot never blocks compilations; a snapshot taken mid-put
+        may tear across fields by one count, which monitoring
+        tolerates.
+        """
+        return CacheStats(
+            name=self.name,
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -195,29 +278,57 @@ def _env_enabled() -> bool:
     )
 
 
-_enabled = _env_enabled()
+#: Process-wide default; threads without a local override inherit it.
+_enabled_default = _env_enabled()
+
+
+class _ThreadEnabled(threading.local):
+    """Per-thread cache toggle (None = inherit the process default)."""
+
+    def __init__(self):
+        self.value: Any = None
+
+
+_ENABLED_LOCAL = _ThreadEnabled()
 
 
 def enabled() -> bool:
-    """Whether caching is currently active."""
-    return _enabled
+    """Whether caching is currently active *for this thread*."""
+    local = _ENABLED_LOCAL.value
+    return _enabled_default if local is None else local
 
 
 def set_enabled(flag: bool) -> bool:
-    """Turn every cache on or off; returns the previous setting.
+    """Turn every cache on or off **for the calling thread only**;
+    returns the previous effective setting.
+
+    Thread-local on purpose: a :class:`repro.serve.CompileService`
+    worker debugging with the cache bypassed must not disable caching
+    for every other in-flight compilation.  Use
+    :func:`set_enabled_default` for the process-wide switch.
 
     Disabling does not drop existing entries — call :func:`clear` for
     that — it only bypasses lookups and insertions.
     """
-    global _enabled
-    previous = _enabled
-    _enabled = bool(flag)
+    previous = enabled()
+    _ENABLED_LOCAL.value = bool(flag)
+    return previous
+
+
+def set_enabled_default(flag: bool) -> bool:
+    """Set the process-wide default toggle; returns the previous one.
+
+    Threads that called :func:`set_enabled` keep their local override.
+    """
+    global _enabled_default
+    previous = _enabled_default
+    _enabled_default = bool(flag)
     return previous
 
 
 @contextmanager
 def disabled() -> Iterator[None]:
-    """A context in which every cache is bypassed."""
+    """A context in which every cache is bypassed (this thread only)."""
     previous = set_enabled(False)
     try:
         yield
@@ -233,7 +344,7 @@ def cached(
     The single gate every caching call site goes through: when the
     off-switch is thrown this degrades to a plain call.
     """
-    if not _enabled:
+    if not enabled():
         return factory()
     return cache.get_or_create(key, factory)
 
@@ -243,9 +354,11 @@ def intern_layout(layout: Any) -> Any:
 
     Keyed on :meth:`LinearLayout.canonical_key`, so two layouts with
     identical bases and output dims intern to the *same object* and
-    downstream identity checks (``is``, dict keys) collapse.
+    downstream identity checks (``is``, dict keys) collapse.  Under
+    concurrency the registry's first insertion wins, so racing threads
+    interning equal layouts still agree on one representative.
     """
-    if not _enabled:
+    if not enabled():
         return layout
     return layouts.get_or_create(layout.canonical_key(), lambda: layout)
 
@@ -262,27 +375,25 @@ def stats() -> Dict[str, CacheStats]:
 
 
 def counters() -> Dict[str, int]:
-    """Aggregate hit/miss totals across every registered cache.
+    """Hit/miss totals of the **calling thread** across every cache.
 
-    A cheap monotonic snapshot — the pass manager takes one before and
-    after each pass and attributes the delta to that pass, which is
-    how per-pass ``cache_hits`` diagnostics are produced without
-    threading counters through every call site.
+    A cheap, lock-free, monotonic snapshot — the pass manager takes
+    one before and after each pass and attributes the delta to that
+    pass.  Because the totals are thread-local, the attribution stays
+    correct while other threads (a :class:`repro.serve.CompileService`
+    pool) hammer the same caches concurrently, and no lock is taken on
+    the read.
     """
-    hits = misses = 0
-    for cache in _REGISTRY:
-        snap = cache.stats()
-        hits += snap.hits
-        misses += snap.misses
-    return {"hits": hits, "misses": misses}
+    return {"hits": _LOCAL.hits, "misses": _LOCAL.misses}
 
 
 def counters_delta(before: Dict[str, int]) -> Dict[str, int]:
-    """Hits/misses accumulated since a :func:`counters` snapshot.
+    """Hits/misses accumulated *by this thread* since a
+    :func:`counters` snapshot.
 
-    Deltas are clamped at zero: a concurrent :func:`clear` (or another
-    thread's :meth:`BoundedCache.clear`) resets the underlying
-    counters, and a negative attribution would be nonsense.
+    Thread-local totals are monotonic (not reset by :func:`clear`),
+    but the deltas stay clamped at zero as defense in depth — a
+    snapshot carried across threads would otherwise produce nonsense.
     """
     now = counters()
     return {

@@ -176,11 +176,18 @@ class ConversionPlan:
         and cached on the plan (plans themselves are cached and shared,
         so the program — and the interpreter scratch it carries — is
         amortized across compilations).
+
+        Cached plans are shared across service worker threads, so the
+        lazy lowering publishes exactly once: racing threads each
+        lower (deterministically identical programs) but the first
+        publication wins, keeping one scratch side-table per plan.
         """
         if self._program is None:
             from repro.program.lower import lower_plan
 
-            self._program = lower_plan(self)
+            lowered = lower_plan(self)
+            if self._program is None:
+                self._program = lowered
         return self._program
 
     def num_shuffle_rounds(self) -> int:

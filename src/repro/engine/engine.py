@@ -90,6 +90,28 @@ class CompiledKernel:
         """JSON-friendly per-pass records (timing, counters, cache)."""
         return [diag.to_dict() for diag in self.diagnostics]
 
+    def summary(self) -> Dict[str, object]:
+        """A picklable, bit-comparable digest of the compilation.
+
+        Everything two compilations must agree on to be considered
+        identical: success, simulated cycles, the Table 6 op counts,
+        and every conversion's serialized warp program.  This is what
+        the process backend of :class:`repro.serve.CompileService`
+        ships across the process boundary, and what the stress tests
+        compare against serial compilation.
+        """
+        from repro.program.serialize import program_to_dict
+
+        return {
+            "mode": self.mode,
+            "ok": self.ok,
+            "error": self.error,
+            "cycles": self.cycles() if self.ok else None,
+            "op_counts": self.op_counts() if self.ok else None,
+            "num_conversions": len(self.conversions),
+            "programs": [program_to_dict(p) for p in self.programs],
+        }
+
     def describe_passes(self) -> str:
         """A one-line-per-pass compilation profile."""
         if not self.diagnostics:
@@ -104,6 +126,14 @@ class LayoutEngine:
     pass pipeline (:mod:`repro.engine.pipeline`).  Construct a
     :class:`~repro.engine.pipeline.PassManager` directly to run a
     custom pipeline (fewer passes, extra passes, swapped policies).
+
+    Thread safety: the engine holds no per-compilation state (each
+    ``compile`` builds a fresh :class:`CompilationContext`, and
+    :class:`~repro.layouts.legacy.LegacyLayoutSystem` is stateless),
+    so one engine may compile on many threads concurrently — each
+    call must still own its ``graph`` exclusively.  The shared
+    :mod:`repro.cache` layer is lock-protected; see
+    ``docs/SERVING.md`` for the full contract.
     """
 
     def __init__(

@@ -174,6 +174,12 @@ class PassManager:
         Each pass gets a fresh diagnostics record appended to
         ``ctx.diagnostics`` *before* it runs, so a raising pass still
         leaves its timing behind (with a note recording the error).
+
+        Cache attribution uses the *thread-local* counters of
+        :func:`repro.cache.counters`, so per-pass ``cache_hits`` stay
+        correct even while other threads (a
+        :class:`repro.serve.CompileService` pool) drive the same
+        caches concurrently.
         """
         for p in self.passes:
             diag = PassDiagnostics(name=p.name)

@@ -1,0 +1,92 @@
+"""Single-flight call deduplication.
+
+The serving pattern behind Go's ``golang.org/x/sync/singleflight``:
+when many callers ask for the same expensive computation at once, one
+*leader* runs it and every concurrent *follower* blocks on the
+leader's result instead of duplicating the work.  For the compile
+service this is what turns a thundering herd of identical kernel
+requests into one compilation.
+
+Exceptions propagate to every waiter of the flight that raised, and
+the key is forgotten as soon as the flight completes — a later call
+starts a fresh computation (the service layers a result cache on top
+when memoization across batches is wanted).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+__all__ = ["SingleFlight"]
+
+_PENDING = object()
+
+
+class _Flight:
+    """One in-flight computation: a result slot behind an event."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: Any = _PENDING
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Deduplicates concurrent calls by key.
+
+    :meth:`do` returns ``(value, shared)`` where ``shared`` is True
+    iff the caller was a follower served by another thread's leader
+    flight.  Thread-safe; keys must be hashable.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: Dict[Hashable, _Flight] = {}
+        self._dedup_hits = 0
+
+    def do(
+        self, key: Hashable, fn: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """``fn()``, unless an equal-keyed call is already in flight.
+
+        The leader executes ``fn`` with no lock held; followers block
+        until the leader finishes and then share its result (or
+        re-raise its exception).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                self._dedup_hits += 1
+            else:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader_flight = flight
+                flight = None
+        if flight is not None:  # follower
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, True
+        try:  # leader
+            leader_flight.value = fn()
+        except BaseException as exc:
+            leader_flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            leader_flight.event.set()
+        return leader_flight.value, False
+
+    def in_flight(self) -> int:
+        """How many keys are currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    @property
+    def dedup_hits(self) -> int:
+        """How many calls were served by another caller's flight."""
+        return self._dedup_hits

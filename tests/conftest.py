@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+Registers a hypothesis profile with ``deadline=None``: per-example
+deadlines measure wall time, so a cold cache, a busy CI host, or a
+parallel ``pytest-xdist``/stress run can push an otherwise-fine
+example over the default 200ms and flake the suite.  Determinism is
+covered by the assertions themselves, not by timing.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")

@@ -26,6 +26,7 @@ class TestTable2:
 
 
 class TestFig9Harness:
+    @pytest.mark.slow
     def test_subset_run(self):
         fig, tab6, speedups = run_fig9(kernels=["vector_add", "sum"])
         assert speedups

@@ -302,7 +302,7 @@ class TestFreeVariables:
 
 
 @given(st.integers(0, 3), st.integers(0, 31), st.integers(0, 1))
-@settings(max_examples=64)
+@settings(max_examples=64, deadline=None)
 def test_layout_a_linearity(r, l, w):
     """f(x ^ y) == f(x) ^ f(y) — the defining property."""
     a = layout_a()

@@ -142,12 +142,14 @@ class TestBenchModules:
         assert all(p.split("/")[0] == p.split("/")[1]
                    for p in linear_passes)
 
+    @pytest.mark.slow
     def test_fig7_all_above_one(self):
         from repro.bench.fig7 import run_fig7
 
         table = run_fig7(sizes=(32, 64))
         assert all(s > 1.0 for s in table.column("speedup"))
 
+    @pytest.mark.slow
     def test_fig8_crossover(self):
         from repro.bench.fig8 import run_fig8
 
@@ -156,6 +158,7 @@ class TestBenchModules:
         assert f16[0] > f16[-1]
         assert f16[-1] <= 1.05
 
+    @pytest.mark.slow
     def test_fig6_f16_dominates(self):
         from repro.bench.fig6 import run_fig6
 

@@ -84,7 +84,7 @@ class TestFp8:
 
     @given(hnp.arrays(np.float64, 32,
                       elements=st.floats(-400, 400, allow_nan=False)))
-    @settings(max_examples=50)
+    @settings(max_examples=50, deadline=None)
     def test_relative_error_bound(self, values):
         decoded = decode_fp8(encode_fp8(values, F8E4M3), F8E4M3)
         big = np.abs(values) > 2 ** -6

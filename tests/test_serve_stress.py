@@ -1,0 +1,286 @@
+"""Stress tests of the concurrent compile service.
+
+The contract under test (``docs/SERVING.md``): hammering
+:class:`repro.serve.CompileService` from many submitter threads with
+overlapping kernel suites must produce results **bit-identical** to
+serial :func:`repro.engine.compile` — same simulated cycles, same op
+counts, same serialized warp programs — while single-flight and the
+result cache collapse duplicate work.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import cache
+from repro.serve import CompileRequest, CompileService, SingleFlight
+
+# A fast, varied slice of the fig9 suite: GEMM + attention-ish +
+# reductions + pointwise, two platforms, both engine modes.
+SUITE = [
+    CompileRequest("softmax", "r64c64"),
+    CompileRequest("softmax", "r64c64", platform="MI250"),
+    CompileRequest("vector_add", "n4096"),
+    CompileRequest("dropout", "n4096"),
+    CompileRequest("sum", "r128c128"),
+    CompileRequest("welford", "r128c64"),
+    CompileRequest("welford", "r128c64", mode="legacy"),
+    CompileRequest("gemm", "t32_i4"),
+    CompileRequest("gemm", "t32_i4", mode="legacy"),
+    CompileRequest("rms_norm", "r128c64", platform="GH200"),
+]
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """Serial compilation summaries, keyed by canonical request key."""
+    cache.clear()
+    return {
+        req.canonical_key(): req.build_and_compile().summary()
+        for req in SUITE
+    }
+
+
+class TestStress:
+    def test_eight_threads_bit_identical_to_serial(
+        self, serial_reference
+    ):
+        """8 submitter threads x overlapping shuffled suites."""
+        cache.clear()
+        n_threads = 8
+        results: dict = {}
+        errors: list = []
+        with CompileService(workers=4, name="stress") as service:
+            barrier = threading.Barrier(n_threads)
+
+            def hammer(seed: int) -> None:
+                rng = random.Random(seed)
+                suite = list(SUITE)
+                rng.shuffle(suite)
+                barrier.wait()
+                try:
+                    futures = [
+                        (r.canonical_key(), service.submit(r))
+                        for r in suite
+                    ]
+                    out = [(k, f.result()) for k, f in futures]
+                    results[seed] = out
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(seed,))
+                for seed in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            report = service.report()
+
+        assert not errors
+        # Every result from every thread is bit-identical to serial:
+        # cycles, op counts, and serialized warp programs all match.
+        for seed, out in results.items():
+            assert len(out) == len(SUITE)
+            for key, compiled in out:
+                assert compiled.summary() == serial_reference[key], (
+                    f"thread {seed} diverged from serial on {key}"
+                )
+        # Dedup fired: 80 requests, only |SUITE| distinct compiles.
+        assert report.total_requests == n_threads * len(SUITE)
+        assert report.compiles == len(SUITE)
+        assert report.dedup_shared + report.result_cache_hits == (
+            report.total_requests - report.compiles
+        )
+        assert report.failures == 0
+
+    def test_single_flight_shares_one_compile(self, monkeypatch):
+        """Duplicate in-flight requests share the leader's compile."""
+        cache.clear()
+        real = CompileRequest.build_and_compile
+        started = threading.Event()
+
+        def slow_compile(self):
+            started.set()
+            time.sleep(0.05)  # hold the flight open for the followers
+            return real(self)
+
+        monkeypatch.setattr(
+            CompileRequest, "build_and_compile", slow_compile
+        )
+        req = CompileRequest("softmax", "r64c64")
+        with CompileService(
+            workers=4, result_cache=0, name="sf"
+        ) as service:
+            futures = [service.submit(req) for _ in range(8)]
+            results = [f.result() for f in futures]
+            report = service.report()
+        # The three followers that dequeued during the leader's
+        # compile shared its flight; every result is equal bit-wise.
+        assert report.dedup_shared >= 3
+        first = results[0].summary()
+        assert all(r.summary() == first for r in results)
+
+    def test_concurrent_distinct_requests_all_succeed(self):
+        """No cross-talk between distinct keys compiled concurrently."""
+        cache.clear()
+        with CompileService(workers=8, name="distinct") as service:
+            results = service.compile_batch(SUITE)
+            report = service.report()
+        assert len(results) == len(SUITE)
+        assert report.compiles == len(SUITE)
+        for req, compiled in zip(SUITE, results):
+            assert compiled.mode == req.mode
+            assert compiled.ok or compiled.error
+
+
+class TestServiceSemantics:
+    def test_results_in_request_order(self):
+        reqs = [SUITE[3], SUITE[0], SUITE[1]]
+        with CompileService(workers=2) as service:
+            results = service.compile_batch(reqs)
+        for req, compiled in zip(reqs, results):
+            assert compiled.summary() == req.build_and_compile().summary()
+
+    def test_invalid_requests_raise_at_submit(self):
+        with CompileService(workers=1) as service:
+            with pytest.raises(KeyError):
+                service.submit(CompileRequest("no_such_kernel"))
+            with pytest.raises(KeyError):
+                service.submit(CompileRequest("gemm", "no_such_case"))
+            with pytest.raises(KeyError):
+                service.submit(CompileRequest("gemm", platform="TPU"))
+            with pytest.raises(ValueError):
+                service.submit(CompileRequest("gemm", mode="quantum"))
+
+    def test_result_cache_serves_repeat_batches(self):
+        cache.clear()
+        with CompileService(workers=2, name="repeat") as service:
+            first = service.compile_batch(SUITE[:4])
+            second = service.compile_batch(SUITE[:4])
+            report = service.report()
+        # The second batch is served entirely without recompiling,
+        # and shares the exact result objects.
+        assert report.compiles == 4
+        assert report.result_cache_hits >= 4
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_report_is_json_exportable(self):
+        import json
+
+        with CompileService(workers=2, name="json") as service:
+            service.compile_batch(SUITE[:3])
+            report = service.report()
+        doc = json.loads(report.to_json())
+        assert doc["service"] == "json"
+        assert doc["workers"] == 2
+        assert doc["requests"] == 3
+        assert len(doc["per_request"]) == 3
+        for rec in doc["per_request"]:
+            assert rec["queue_wait_ms"] >= 0
+            assert rec["total_ms"] >= rec["compile_ms"]
+        assert set(doc["cache"]) >= {"layouts", "plans", "engine"}
+        assert report.describe()
+
+    def test_process_backend_matches_serial(self, serial_reference):
+        """Forked workers return the same bit-comparable digests."""
+        reqs = [SUITE[0], SUITE[2], SUITE[0]]
+        with CompileService(
+            workers=2, backend="process", name="proc"
+        ) as service:
+            out = service.compile_batch(reqs)
+        for req, summary in zip(reqs, out):
+            got = dict(summary)
+            got.pop("compile_ms")
+            assert got == serial_reference[req.canonical_key()]
+
+
+class TestSingleFlight:
+    def test_leader_and_followers_deterministic(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        entered = threading.Event()
+        outcomes: list = []
+
+        def leader():
+            def work():
+                entered.set()
+                release.wait()
+                return "value"
+
+            outcomes.append(flight.do("k", work))
+
+        def follower():
+            entered.wait()
+            outcomes.append(flight.do("k", lambda: "other"))
+
+        t_leader = threading.Thread(target=leader)
+        followers = [
+            threading.Thread(target=follower) for _ in range(3)
+        ]
+        t_leader.start()
+        for t in followers:
+            t.start()
+        entered.wait()
+        while flight.in_flight() == 0:  # pragma: no cover
+            time.sleep(0.001)
+        # Give followers time to park on the flight, then release.
+        time.sleep(0.02)
+        release.set()
+        t_leader.join()
+        for t in followers:
+            t.join()
+        values = {v for v, _shared in outcomes}
+        shared_flags = sorted(s for _v, s in outcomes)
+        assert values == {"value"}  # nobody computed "other"
+        assert shared_flags == [False, True, True, True]
+        assert flight.dedup_hits == 3
+        assert flight.in_flight() == 0
+
+    def test_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        entered = threading.Event()
+        failures: list = []
+
+        def leader():
+            def boom():
+                entered.set()
+                release.wait()
+                raise RuntimeError("leader failed")
+
+            try:
+                flight.do("k", boom)
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        def follower():
+            entered.wait()
+            time.sleep(0.01)
+            try:
+                flight.do("k", lambda: "ok")
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        ts = [threading.Thread(target=leader)] + [
+            threading.Thread(target=follower) for _ in range(2)
+        ]
+        for t in ts:
+            t.start()
+        entered.wait()
+        time.sleep(0.02)
+        release.set()
+        for t in ts:
+            t.join()
+        # Followers that joined the flight see the leader's error;
+        # stragglers that arrived after completion recompute fine.
+        assert failures.count("leader failed") >= 1
+        # The key is forgotten: a fresh call recomputes.
+        value, shared = flight.do("k", lambda: "fresh")
+        assert (value, shared) == ("fresh", False)
