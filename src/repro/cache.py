@@ -55,6 +55,17 @@ contract; ``tests/test_cache_concurrency.py`` stresses it):
   process); :func:`set_enabled_default` changes the process-wide
   default that threads without an override inherit.
 
+Observability
+-------------
+When :mod:`repro.obs` is recording (``REPRO_OBS=1``), every lookup
+additionally bumps the labeled counters ``cache.hits{cache=<name>}``
+/ ``cache.misses{...}`` and evictions bump
+``cache.evictions{...}``, so a capture attributes cache traffic per
+cache while :func:`counters` keeps attributing it per thread/pass —
+same events, two views.  :func:`publish_obs_gauges` exports the
+:func:`stats` snapshot as gauges at capture time.  Disabled, the
+mirror is a single ``None`` check per lookup.
+
 Off-switch
 ----------
 Set the environment variable ``REPRO_CACHE=0`` (or call
@@ -71,6 +82,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterator, List
 
+from repro.obs import core as _obs
+
 __all__ = [
     "BoundedCache",
     "CacheStats",
@@ -81,6 +94,7 @@ __all__ = [
     "disabled",
     "enabled",
     "intern_layout",
+    "publish_obs_gauges",
     "set_enabled",
     "set_enabled_default",
     "stats",
@@ -180,11 +194,18 @@ class BoundedCache:
             if value is _MISSING:
                 self._misses += 1
                 _LOCAL.misses += 1
-                return default
-            self._data[key] = value  # re-insert: most recently used
-            self._hits += 1
-            _LOCAL.hits += 1
-            return value
+            else:
+                self._data[key] = value  # re-insert: most recently used
+                self._hits += 1
+                _LOCAL.hits += 1
+        # Observability mirror, outside the lock: one ``None`` check
+        # when disabled, a labeled counter bump when recording.
+        if _obs.is_enabled():
+            if value is _MISSING:
+                _obs.count("cache.misses", 1, cache=self.name)
+            else:
+                _obs.count("cache.hits", 1, cache=self.name)
+        return default if value is _MISSING else value
 
     def put(self, key: Hashable, value: Any) -> Any:
         """Insert a value; an earlier racing insertion wins."""
@@ -197,21 +218,27 @@ class BoundedCache:
         caller's lookup missed; if a :meth:`clear` ran in between, the
         stale value is returned to the caller but *not* inserted.
         """
-        with self._lock:
-            if generation is not None and generation != self._generation:
+        evicted = 0
+        try:
+            with self._lock:
+                if generation is not None and generation != self._generation:
+                    return value
+                existing = self._data.get(key, _MISSING)
+                if existing is not _MISSING:
+                    return existing
+                self._data[key] = value
+                # The eviction loop shares the insertion's critical
+                # section: capacity can never be observed exceeded, and a
+                # concurrent clear() cannot empty the dict mid-iteration
+                # (maxsize >= 1 keeps next(iter(...)) well-defined here).
+                while len(self._data) > self.maxsize:
+                    self._data.pop(next(iter(self._data)))
+                    self._evictions += 1
+                    evicted += 1
                 return value
-            existing = self._data.get(key, _MISSING)
-            if existing is not _MISSING:
-                return existing
-            self._data[key] = value
-            # The eviction loop shares the insertion's critical
-            # section: capacity can never be observed exceeded, and a
-            # concurrent clear() cannot empty the dict mid-iteration
-            # (maxsize >= 1 keeps next(iter(...)) well-defined here).
-            while len(self._data) > self.maxsize:
-                self._data.pop(next(iter(self._data)))
-                self._evictions += 1
-            return value
+        finally:
+            if evicted and _obs.is_enabled():
+                _obs.count("cache.evictions", evicted, cache=self.name)
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """The cached value, computing and inserting it on a miss.
@@ -372,6 +399,24 @@ def clear() -> None:
 def stats() -> Dict[str, CacheStats]:
     """Statistics for every registered cache, by name."""
     return {cache.name: cache.stats() for cache in _REGISTRY}
+
+
+def publish_obs_gauges() -> None:
+    """Export every cache's statistics as :mod:`repro.obs` gauges.
+
+    The same numbers :func:`stats` returns, published as
+    ``cache.size{cache=...}`` / ``cache.hit_rate{...}`` /
+    ``cache.evictions_total{...}`` series.  Call at capture-export
+    time (``python -m repro.obs capture`` does); no-op when
+    observability is off, so it is always safe to call.
+    """
+    if not _obs.is_enabled():
+        return
+    for name, snap in stats().items():
+        _obs.gauge("cache.size", snap.size, cache=name)
+        _obs.gauge("cache.maxsize", snap.maxsize, cache=name)
+        _obs.gauge("cache.hit_rate", snap.hit_rate, cache=name)
+        _obs.gauge("cache.evictions_total", snap.evictions, cache=name)
 
 
 def counters() -> Dict[str, int]:

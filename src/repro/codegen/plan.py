@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from repro.core.layout import LinearLayout
+from repro.obs import core as _obs
 
 
 @dataclass(frozen=True)
@@ -185,7 +186,14 @@ class ConversionPlan:
         if self._program is None:
             from repro.program.lower import lower_plan
 
-            lowered = lower_plan(self)
+            with _obs.span(
+                "codegen:lower_plan",
+                kind=self.kind,
+                steps=len(self.steps),
+            ) as sp:
+                lowered = lower_plan(self)
+                sp.set("instructions", len(lowered))
+            _obs.count("codegen.programs_lowered", 1, kind=self.kind)
             if self._program is None:
                 self._program = lowered
         return self._program

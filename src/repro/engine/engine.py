@@ -49,6 +49,7 @@ from repro.gpusim.trace import Trace
 from repro.hardware.instructions import InstructionKind
 from repro.hardware.spec import GpuSpec, RTX4090
 from repro.layouts.legacy import LegacyLayoutSystem
+from repro.obs import core as _obs
 
 
 @dataclass
@@ -174,21 +175,40 @@ class LayoutEngine:
         manager = passes if passes is not None else PassManager.standard(
             self.mode
         )
-        try:
-            manager.run(ctx)
-            return CompiledKernel(
-                graph=ctx.graph,
-                trace=ctx.trace,
-                mode=self.mode,
-                conversions=ctx.conversions,
-                programs=ctx.programs,
-                diagnostics=ctx.diagnostics,
-            )
-        except LegacyUnsupportedError as exc:
-            return CompiledKernel(
-                graph=graph,
-                trace=Trace(self.spec),
-                mode=self.mode,
-                error=str(exc),
-                diagnostics=ctx.diagnostics,
-            )
+        with _obs.span(
+            "compile:kernel",
+            mode=self.mode,
+            platform=self.spec.name,
+            num_warps=self.num_warps,
+        ) as sp:
+            try:
+                manager.run(ctx)
+                sp.set_attrs(
+                    {"ok": True, "cycles": ctx.cycles,
+                     "conversions": len(ctx.conversions)}
+                )
+                _obs.count(
+                    "engine.compiles", 1,
+                    mode=self.mode, platform=self.spec.name, ok=True,
+                )
+                return CompiledKernel(
+                    graph=ctx.graph,
+                    trace=ctx.trace,
+                    mode=self.mode,
+                    conversions=ctx.conversions,
+                    programs=ctx.programs,
+                    diagnostics=ctx.diagnostics,
+                )
+            except LegacyUnsupportedError as exc:
+                sp.set_attrs({"ok": False, "error": str(exc)})
+                _obs.count(
+                    "engine.compiles", 1,
+                    mode=self.mode, platform=self.spec.name, ok=False,
+                )
+                return CompiledKernel(
+                    graph=graph,
+                    trace=Trace(self.spec),
+                    mode=self.mode,
+                    error=str(exc),
+                    diagnostics=ctx.diagnostics,
+                )

@@ -17,6 +17,7 @@ from repro.engine.ir import OpKind
 from repro.engine.pipeline import CompilationContext, Pass, PassDiagnostics
 from repro.gpusim.trace import Trace
 from repro.hardware.instructions import InstructionKind
+from repro.obs import core as _obs
 
 
 class LowerToPlans(Pass):
@@ -47,6 +48,11 @@ class LowerToPlans(Pass):
                 diag.bump(
                     "program_instructions", len(plan.program())
                 )
+                if _obs.is_enabled():
+                    _obs.count(
+                        "engine.conversions", 1,
+                        kind=plan.kind, mode=ctx.mode,
+                    )
             elif kind == OpKind.ELEMENTWISE:
                 cost.price_elementwise(op, trace)
             elif kind == OpKind.LOCAL_STORE:

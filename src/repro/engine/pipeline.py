@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro import cache as _cache
 from repro.codegen.plan import ConversionPlan
+from repro.obs import core as _obs
 from repro.engine.ir import Graph
 from repro.gpusim.opcost import OpCostModel, op_cost_model
 from repro.gpusim.trace import Trace
@@ -180,22 +181,47 @@ class PassManager:
         correct even while other threads (a
         :class:`repro.serve.CompileService` pool) drive the same
         caches concurrently.
+
+        When :mod:`repro.obs` is recording, every pass additionally
+        emits a ``pass:<name>`` span whose attributes *are* the
+        :meth:`PassDiagnostics.to_dict` record — one measurement,
+        two views — nested under whatever span the caller opened
+        (``compile:kernel``, ``serve:request``).  Disabled, the
+        span hook is a no-op and nothing changes.
         """
-        for p in self.passes:
-            diag = PassDiagnostics(name=p.name)
-            ctx.diagnostics.append(diag)
-            cache_before = _cache.counters()
-            start = time.perf_counter()
-            try:
-                p.run(ctx, diag)
-            except Exception as exc:
-                diag.notes.append(f"raised {type(exc).__name__}: {exc}")
-                raise
-            finally:
-                diag.wall_time_ms = (time.perf_counter() - start) * 1e3
-                delta = _cache.counters_delta(cache_before)
-                diag.cache_hits = delta["hits"]
-                diag.cache_misses = delta["misses"]
+        with _obs.span(
+            "pipeline:run",
+            mode=ctx.mode,
+            platform=ctx.spec.name,
+            num_warps=ctx.num_warps,
+            passes=len(self.passes),
+        ):
+            for p in self.passes:
+                diag = PassDiagnostics(name=p.name)
+                ctx.diagnostics.append(diag)
+                cache_before = _cache.counters()
+                start = time.perf_counter()
+                with _obs.span(f"pass:{p.name}", mode=ctx.mode) as sp:
+                    try:
+                        p.run(ctx, diag)
+                    except Exception as exc:
+                        diag.notes.append(
+                            f"raised {type(exc).__name__}: {exc}"
+                        )
+                        raise
+                    finally:
+                        diag.wall_time_ms = (
+                            time.perf_counter() - start
+                        ) * 1e3
+                        delta = _cache.counters_delta(cache_before)
+                        diag.cache_hits = delta["hits"]
+                        diag.cache_misses = delta["misses"]
+                        sp.set_attrs(diag.to_dict())
+                        _obs.observe(
+                            "pipeline.pass_ms",
+                            diag.wall_time_ms,
+                            **{"pass": p.name, "mode": ctx.mode},
+                        )
         return ctx
 
     def __repr__(self) -> str:

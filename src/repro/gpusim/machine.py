@@ -26,7 +26,9 @@ from repro.codegen.plan import ConversionPlan
 from repro.core.layout import LinearLayout
 from repro.gpusim.registers import RegisterFile
 from repro.gpusim.trace import Trace
+from repro.hardware.instructions import InstructionKind
 from repro.hardware.spec import GpuSpec, RTX4090
+from repro.obs import core as _obs
 from repro.program.interp import make_interpreter
 from repro.program.ir import R_IDX, R_IN, WarpProgram
 from repro.program.lower import (
@@ -63,8 +65,51 @@ class Machine:
         program: WarpProgram,
         inputs: Dict[str, RegisterFile],
     ) -> Tuple[Dict[str, RegisterFile], Trace]:
-        """Interpret an instruction stream; returns (spaces, trace)."""
-        return self._interp.run(program, inputs)
+        """Interpret an instruction stream; returns (spaces, trace).
+
+        When :mod:`repro.obs` is recording, the execution is wrapped
+        in a ``sim:run_program`` span and the resulting trace's
+        totals land in the ``sim.*`` metric families (instruction
+        counts, cycles, bank-conflict wavefronts) labeled by platform
+        and backend; the simulation itself is identical either way.
+        """
+        if not _obs.is_enabled():
+            return self._interp.run(program, inputs)
+        with _obs.span(
+            "sim:run_program",
+            backend=self.backend,
+            platform=self.spec.name,
+            instructions=len(program.instrs),
+        ) as sp:
+            files, trace = self._interp.run(program, inputs)
+            self._publish_trace_metrics(trace, sp)
+        return files, trace
+
+    _SHARED_KINDS = (
+        InstructionKind.SHARED_LOAD,
+        InstructionKind.SHARED_STORE,
+        InstructionKind.LDMATRIX,
+        InstructionKind.STMATRIX,
+    )
+
+    def _publish_trace_metrics(self, trace: Trace, sp) -> None:
+        """Turn one execution's trace totals into obs metrics."""
+        issued = sum(i.count for i in trace.instructions)
+        cycles = trace.cycles()
+        conflicts = sum(
+            (i.wavefronts - 1) * i.count
+            for i in trace.instructions
+            if i.kind in self._SHARED_KINDS and i.wavefronts > 1
+        )
+        labels = {"platform": self.spec.name, "backend": self.backend}
+        _obs.count("sim.programs", 1, **labels)
+        _obs.count("sim.instructions", issued, **labels)
+        _obs.count("sim.cycles", cycles, **labels)
+        _obs.count("sim.bank_conflicts", conflicts, **labels)
+        sp.set_attrs(
+            {"issued": issued, "cycles": cycles,
+             "bank_conflicts": conflicts}
+        )
 
     # ------------------------------------------------------------------
     # Plan-level conveniences (lower, then interpret)

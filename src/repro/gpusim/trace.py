@@ -6,7 +6,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping
 
-from repro.hardware.cost import CostModel
+from repro.hardware.cost import CostModel, cost_model
 from repro.hardware.instructions import Instruction, InstructionKind
 from repro.hardware.spec import GpuSpec, get_platform
 
@@ -41,13 +41,23 @@ class Trace:
             )
         )
 
+    def cost_model(self) -> CostModel:
+        """The platform's cost model — one shared instance per spec.
+
+        Memoized through :func:`repro.hardware.cost.cost_model`, so
+        repeated ``cycles()``/``histogram()`` calls (every
+        ``CompiledKernel.summary()``, every benchmark row) reuse one
+        model instead of constructing a fresh one per call.
+        """
+        return cost_model(self.spec)
+
     def cycles(self) -> float:
         """Total cycles under the platform's cost model."""
-        return CostModel(self.spec).total_cycles(self.instructions)
+        return self.cost_model().total_cycles(self.instructions)
 
     def histogram(self) -> Dict[str, int]:
         """Instruction counts by mnemonic."""
-        return CostModel(self.spec).histogram(self.instructions)
+        return self.cost_model().histogram(self.instructions)
 
     def count(self, kind: InstructionKind) -> int:
         """Total count of one instruction kind."""

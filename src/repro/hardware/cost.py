@@ -10,6 +10,7 @@ counts.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable
 
@@ -89,3 +90,25 @@ class CostModel:
             cycles = self.instruction_cycles(inst)
             out[inst.kind.value] = out.get(inst.kind.value, 0.0) + cycles
         return out
+
+
+# ----------------------------------------------------------------------
+# Memoized models
+# ----------------------------------------------------------------------
+_MODELS: Dict[GpuSpec, CostModel] = {}
+_MODELS_LOCK = threading.Lock()
+
+
+def cost_model(spec: GpuSpec) -> CostModel:
+    """The process-wide :class:`CostModel` of one platform.
+
+    The model is stateless (a pure pricing function over a frozen
+    spec), so every trace on the same :class:`GpuSpec` shares one
+    instance instead of constructing a fresh model per
+    ``Trace.cycles()`` call.  First insertion wins under races.
+    """
+    model = _MODELS.get(spec)
+    if model is None:
+        with _MODELS_LOCK:
+            model = _MODELS.setdefault(spec, CostModel(spec))
+    return model

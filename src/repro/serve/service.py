@@ -49,6 +49,7 @@ from repro.engine import compile as _engine_compile
 from repro.engine.engine import CompiledKernel
 from repro.hardware.spec import PLATFORMS
 from repro.kernels import KERNELS
+from repro.obs import core as _obs
 from repro.serve.singleflight import SingleFlight
 from repro.serve.stats import RequestStats, ServiceReport
 
@@ -249,18 +250,28 @@ class CompileService:
             mode=request.mode,
             queue_wait_ms=(started - submitted) * 1e3,
         )
-        try:
-            compiled = self._lookup_or_compile(request, key, rec)
-            rec.ok = compiled.ok
-            rec.error = compiled.error
-            return compiled
-        except BaseException as exc:
-            rec.ok = False
-            rec.error = f"{type(exc).__name__}: {exc}"
-            raise
-        finally:
-            rec.total_ms = (time.perf_counter() - submitted) * 1e3
-            self._record(rec)
+        with _obs.span(
+            "serve:request",
+            key=key,
+            kernel=request.kernel,
+            platform=request.platform,
+            mode=request.mode,
+        ) as sp:
+            try:
+                compiled = self._lookup_or_compile(request, key, rec)
+                rec.ok = compiled.ok
+                rec.error = compiled.error
+                return compiled
+            except BaseException as exc:
+                rec.ok = False
+                rec.error = f"{type(exc).__name__}: {exc}"
+                raise
+            finally:
+                rec.total_ms = (time.perf_counter() - submitted) * 1e3
+                # Thin-view contract: the span's attributes are the
+                # request's RequestStats record.
+                sp.set_attrs(rec.to_dict())
+                self._record(rec)
 
     def _lookup_or_compile(
         self, request: CompileRequest, key: str, rec: RequestStats
@@ -271,9 +282,11 @@ class CompileService:
                 rec.result_cached = True
                 return hit
         if self.dedup:
-            compiled, shared = self._flight.do(
-                key, lambda: self._compile_timed(request, rec)
-            )
+            with _obs.span("serve:singleflight", key=key) as sp:
+                compiled, shared = self._flight.do(
+                    key, lambda: self._compile_timed(request, rec)
+                )
+                sp.set("shared", shared)
             rec.shared = shared
         else:
             compiled = self._compile_timed(request, rec)
@@ -374,6 +387,22 @@ class CompileService:
         with self._lock:
             self._records.append(rec)
             self._last_done = time.perf_counter()
+        if _obs.is_enabled():
+            if not rec.ok:
+                outcome = "error"
+            elif rec.result_cached:
+                outcome = "result_cached"
+            elif rec.shared:
+                outcome = "shared"
+            else:
+                outcome = "compiled"
+            _obs.count(
+                "serve.requests", 1,
+                outcome=outcome, mode=rec.mode, backend=self.backend,
+            )
+            _obs.observe("serve.queue_wait_ms", rec.queue_wait_ms)
+            if outcome == "compiled":
+                _obs.observe("serve.compile_ms", rec.compile_ms)
 
     def report(self) -> ServiceReport:
         """The service's statistics so far (see :mod:`repro.serve.stats`)."""

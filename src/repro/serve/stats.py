@@ -9,6 +9,13 @@ compile or by the service's result cache).  :class:`ServiceReport`
 aggregates those records into the JSON document operators would
 scrape — throughput, dedup ratios, latency summary, and the global
 cache statistics snapshot.
+
+These records are also the observability layer's view of the
+service: when :mod:`repro.obs` is recording, every request's
+``serve:request`` span carries :meth:`RequestStats.to_dict` as its
+attributes and the service bumps ``serve.requests{outcome=...}`` /
+``serve.queue_wait_ms`` / ``serve.compile_ms`` series — one record,
+two surfaces (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
